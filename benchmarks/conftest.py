@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+``tiny`` scale (a contended 4-machine slice of the paper's cluster) so the
+whole suite runs in minutes.  Set ``REPRO_BENCH_SCALE=bench`` (8 machines,
+more jobs) or ``=paper`` (the full §5 configuration; slow) to rerun closer
+to the original.
+
+Every benchmark asserts the paper's *shape* (who wins, by roughly what
+factor, where crossovers fall) — not the absolute numbers, which belong to
+the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return name
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

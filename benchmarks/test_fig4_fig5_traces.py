@@ -1,0 +1,23 @@
+"""Bench: Figures 4 & 5 — utilization traces (flat Ursa vs fluctuating Y+S)."""
+
+from repro.experiments import fig4_fig5_traces
+
+from .conftest import run_once
+
+
+def test_fig4_fig5_utilization_traces(benchmark, scale_name):
+    out = run_once(benchmark, fig4_fig5_traces.run, scale_name)
+
+    # Figure 4 (TPC-H): Ursa's busy-window CPU is clearly higher, and not
+    # meaningfully less flat (at reduced scale Ursa drains so fast that its
+    # window includes ramp-out, which inflates its CoV slightly)
+    u = out[("Figure 4 (TPC-H)", "ursa-ejf")]
+    s = out[("Figure 4 (TPC-H)", "y+s")]
+    assert u["cpu_mean"] > s["cpu_mean"] * 1.15
+    assert u["cpu_cv"] < s["cpu_cv"] * 1.25
+
+    # Figure 5 (TPC-DS): same shape
+    u5 = out[("Figure 5 (TPC-DS)", "ursa-ejf")]
+    s5 = out[("Figure 5 (TPC-DS)", "y+s")]
+    assert u5["cpu_mean"] > s5["cpu_mean"] * 1.15
+    assert u5["cpu_cv"] < s5["cpu_cv"] * 1.25

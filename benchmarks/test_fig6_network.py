@@ -1,0 +1,18 @@
+"""Bench: Figure 6 — the bottleneck resource switches with link speed."""
+
+from repro.experiments import fig6_network
+
+from .conftest import run_once
+
+
+def test_fig6_network_bottleneck_switch(benchmark, scale_name):
+    out = run_once(benchmark, fig6_network.run, scale_name)
+
+    # 1 Gbps: network is the bottleneck — it is the highly-used resource
+    assert out[1.0]["net_mean"] > out[1.0]["cpu_mean"]
+    # 10 Gbps: CPU takes over and network utilization drops
+    assert out[10.0]["cpu_mean"] > out[10.0]["net_mean"]
+    # network utilization decreases monotonically with bandwidth
+    assert out[1.0]["net_mean"] > out[4.0]["net_mean"] > out[10.0]["net_mean"]
+    # a starved network stretches the makespan (paper Fig. 6a vs 4a)
+    assert out[1.0]["metrics"].makespan > out[10.0]["metrics"].makespan

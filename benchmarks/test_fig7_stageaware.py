@@ -1,0 +1,20 @@
+"""Bench: Figure 7 + §5.2 — stage-awareness and network-demand ablations."""
+
+from repro.experiments import fig7_stageaware
+
+from .conftest import run_once
+
+
+def test_fig7_stageaware_and_network_demand(benchmark, scale_name):
+    out = run_once(benchmark, fig7_stageaware.run, scale_name)
+
+    base = out["baseline"]
+    nsa = out["non-stage-aware"]
+    ign = out["ignore-network"]
+
+    # paper: non-stage-aware costs +5.7% makespan / +10.8% avg JCT (EJF)
+    assert nsa.mean_jct >= base.mean_jct * 0.98
+    # paper: ignoring network demands costs ~6% makespan, ~13% avg JCT
+    assert ign.mean_jct >= base.mean_jct * 0.98
+    # and the baseline is (weakly) the best of the three on makespan
+    assert base.makespan <= min(nsa.makespan, ign.makespan) * 1.05

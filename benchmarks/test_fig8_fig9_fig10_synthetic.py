@@ -1,0 +1,57 @@
+"""Bench: Figures 8–10 — the expectable synthetic workload."""
+
+import numpy as np
+
+from repro.experiments import fig8_fig9_fig10_synthetic as synth
+
+from .conftest import run_once
+
+
+def test_fig8_single_job_alternation(benchmark, scale_name):
+    out = run_once(benchmark, synth.run_fig8, scale_name)
+
+    # Type 1 carries ~2x the data of Type 2 → ~2x the JCT (paper: 40 vs 22)
+    assert 1.5 < out[1]["jct"] / out[2]["jct"] < 2.5
+
+    for jtype in (1, 2):
+        cpu = np.asarray(out[jtype]["cpu"])
+        net = np.asarray(out[jtype]["net"])
+        # both resources alternate: each has clear peaks and valleys
+        assert cpu.max() > 2 * max(cpu.min(), 1e-9) + 1
+        assert net.max() > 5.0
+        # CPU and network peaks do not coincide (phases alternate)
+        top_cpu = set(np.argsort(cpu)[-3:])
+        top_net = set(np.argsort(net)[-3:])
+        assert len(top_cpu & top_net) <= 1
+
+
+def test_fig9_expectable_jcts(benchmark, scale_name):
+    out = run_once(benchmark, synth.run_fig9, scale_name, n_jobs=10)
+    actual = np.asarray(out["actual"])
+    expect = np.asarray(out["expected"])
+    # after pipeline warm-up the actual JCTs track the ideal-case arithmetic
+    tail = slice(len(actual) // 2, None)
+    rel_err = np.abs(actual[tail] - expect[tail]) / expect[tail]
+    assert rel_err.mean() < 0.20
+    # and the cluster CPU stays pinned high (paper Fig. 9b)
+    assert out["mean_cpu"] > 80.0
+
+
+def test_fig10_alternating_types(benchmark, scale_name):
+    out = run_once(benchmark, synth.run_fig10, scale_name, n_pairs=5)
+    types = np.asarray(out["ejf"]["types"])
+    for policy in ("ejf", "srjf"):
+        actual = np.asarray(out[policy]["actual"])
+        expect = np.asarray(out[policy]["expected"])
+        # the actual JCTs track the per-policy ideal-case curve: strong rank
+        # correlation and a bounded total-error envelope
+        rank_corr = np.corrcoef(np.argsort(np.argsort(actual)),
+                                np.argsort(np.argsort(expect)))[0, 1]
+        assert rank_corr > 0.7
+        assert abs(actual.sum() - expect.sum()) / expect.sum() < 0.5
+    # SRJF's defining shape: the small Type-2 jobs finish first on average
+    srjf = np.asarray(out["srjf"]["actual"])
+    assert srjf[types == 2].mean() < srjf[types == 1].mean()
+    # while EJF mixes them (pairwise, by submission order)
+    ejf = np.asarray(out["ejf"]["actual"])
+    assert ejf[types == 2].mean() > srjf[types == 2].mean()

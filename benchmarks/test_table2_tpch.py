@@ -1,0 +1,25 @@
+"""Bench: Table 2 — TPC-H across Ursa-EJF / Ursa-SRJF / Y+S / Y+T."""
+
+from repro.experiments import table2_tpch
+
+from .conftest import run_once
+
+
+def test_table2_tpch(benchmark, scale_name):
+    results = run_once(benchmark, table2_tpch.run, scale_name)
+    m = {k: v.metrics for k, v in results.items()}
+
+    # UE_cpu: Ursa ≫ Y+S > Y+T (paper: 99.6 / 69.4 / 59.0)
+    assert m["ursa-ejf"].ue_cpu > 0.9
+    assert m["ursa-ejf"].ue_cpu > m["y+s"].ue_cpu + 0.2
+    assert m["y+s"].ue_cpu >= m["y+t"].ue_cpu - 0.02
+
+    # makespan: Ursa < Y+S < Y+T (paper: 2803 / 3849 / 9228)
+    assert m["ursa-ejf"].makespan < m["y+s"].makespan
+    assert m["y+s"].makespan < m["y+t"].makespan
+
+    # SRJF buys avg JCT (paper: 490 vs 600)
+    assert m["ursa-srjf"].mean_jct < m["ursa-ejf"].mean_jct
+
+    # memory UE: Ursa far above container-based baselines (paper: 79 vs 35/29)
+    assert m["ursa-ejf"].ue_mem > m["y+s"].ue_mem

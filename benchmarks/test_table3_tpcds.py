@@ -1,0 +1,17 @@
+"""Bench: Table 3 — TPC-DS across Ursa-EJF / Ursa-SRJF / Y+S."""
+
+from repro.experiments import table2_tpch, table3_tpcds
+
+from .conftest import run_once
+
+
+def test_table3_tpcds(benchmark, scale_name):
+    results = run_once(benchmark, table3_tpcds.run, scale_name)
+    m = {k: v.metrics for k, v in results.items()}
+
+    assert m["ursa-ejf"].ue_cpu > 0.9
+    # paper: Y+S UE_cpu drops to 48.6% on TPC-DS (vs 69.4% on TPC-H)
+    assert m["y+s"].ue_cpu < 0.6
+    assert m["ursa-ejf"].makespan < m["y+s"].makespan
+    assert m["ursa-srjf"].mean_jct < m["ursa-ejf"].mean_jct
+    assert m["ursa-ejf"].ue_mem > m["y+s"].ue_mem

@@ -1,0 +1,28 @@
+"""Bench: Table 4 — Mixed workload across all seven systems."""
+
+from repro.experiments import table4_mixed
+
+from .conftest import run_once
+
+
+def test_table4_mixed(benchmark, scale_name):
+    results = run_once(benchmark, table4_mixed.run, scale_name)
+    m = {k: v.metrics for k, v in results.items()}
+
+    # monotasks alone are not enough: Y+U keeps executor-grade (low) UE
+    assert m["ursa-ejf"].ue_cpu > 0.9
+    assert m["y+u"].ue_cpu < m["ursa-ejf"].ue_cpu - 0.2
+
+    # placement comparators keep Ursa's UE but lose ground on makespan
+    for name in ("capacity", "tetris", "tetris2"):
+        assert m[name].ue_cpu > 0.9
+    assert m["ursa-ejf"].makespan <= min(
+        m["capacity"].makespan, m["tetris"].makespan, m["tetris2"].makespan
+    ) * 1.10
+
+    # Tetris2 (ignoring network peaks) >= Tetris (paper: 506 vs 562)
+    assert m["tetris2"].makespan <= m["tetris"].makespan * 1.05
+
+    # Ursa beats the executor-based systems outright
+    assert m["ursa-ejf"].makespan < m["y+s"].makespan
+    assert m["ursa-ejf"].makespan < m["y+u"].makespan

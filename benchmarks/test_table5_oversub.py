@@ -1,0 +1,25 @@
+"""Bench: Table 5 — CPU over-subscription sweep (1/2/4) for Y+U and Y+S."""
+
+from repro.experiments import table5_oversub
+
+from .conftest import run_once
+
+
+def test_table5_oversubscription(benchmark, scale_name):
+    results = run_once(benchmark, table5_oversub.run, scale_name)
+
+    for name in ("y+u", "y+s"):
+        mk1 = results[(1.0, name)]["metrics"].makespan
+        mk2 = results[(2.0, name)]["metrics"].makespan
+        mk4 = results[(4.0, name)]["metrics"].makespan
+        # ratio 2 helps (paper: 843→638 for Y+U, 1073→873 for Y+S)
+        assert mk2 < mk1
+        # ratio 4 shows diminishing returns: far less than another 2x win
+        gain2 = mk1 - mk2
+        gain4 = mk2 - mk4
+        assert gain4 < gain2
+
+    # §5.1.2: the straggler-time ratio grows with the subscription ratio
+    s1 = results[(1.0, "y+u")]["straggler_ratio"]
+    s4 = results[(4.0, "y+u")]["straggler_ratio"]
+    assert s4 >= s1

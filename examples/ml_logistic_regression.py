@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Iterative ML on Ursa: logistic regression via the Dataset API.
+
+Trains a tiny logistic-regression model with batch gradient descent: the
+training partitions stay resident, each iteration broadcasts the weights,
+computes partial gradients with real UDFs, and aggregates them through a
+shuffle — the alternating compute/communicate pattern of §2 (Fig. 1a/1b).
+
+    python examples/ml_logistic_regression.py
+"""
+
+import math
+
+from repro.api import UrsaContext
+from repro.cluster import ClusterSpec
+from repro.simcore import derive_rng
+
+
+def make_data(n=400, dim=4, seed=3):
+    """Linearly separable-ish data with known true weights."""
+    rng = derive_rng(seed, "lr_data")
+    true_w = rng.normal(size=dim)
+    xs, ys = [], []
+    for _ in range(n):
+        x = rng.normal(size=dim)
+        logit = float(x @ true_w)
+        y = 1 if logit + rng.normal(scale=0.3) > 0 else 0
+        xs.append(tuple(float(v) for v in x))
+        ys.append(y)
+    return list(zip(xs, ys)), true_w
+
+
+def sigmoid(z: float) -> float:
+    if z < -30:
+        return 0.0
+    if z > 30:
+        return 1.0
+    return 1.0 / (1.0 + math.exp(-z))
+
+
+def main() -> None:
+    data, true_w = make_data()
+    dim = len(true_w)
+    ctx = UrsaContext(ClusterSpec.small(num_machines=4, cores=8))
+    weights = [0.0] * dim
+    lr = 0.5
+
+    for it in range(8):
+        w = ctx.broadcast(list(weights))
+
+        def partial_grad(sample, w=w):
+            x, y = sample
+            pred = sigmoid(sum(wi * xi for wi, xi in zip(w.value, x)))
+            err = pred - y
+            return ("g", tuple(err * xi for xi in x))
+
+        grads = (
+            ctx.parallelize(data, partitions=8)
+            .map(partial_grad)
+            .reduce_by_key(
+                lambda a, b: tuple(ai + bi for ai, bi in zip(a, b)), partitions=1
+            )
+            .collect()
+        )
+        total = grads[0][1]
+        weights = [wi - lr * gi / len(data) for wi, gi in zip(weights, total)]
+        cos = _cosine(weights, true_w)
+        print(f"iter {it}: cosine(w, w*) = {cos:+.3f}  (sim t = {ctx.cluster.sim.now:7.2f} s)")
+
+    acc = _accuracy(weights, data)
+    print(f"\nfinal training accuracy: {acc:.1%} over {len(data)} samples")
+    print(f"jobs run on the simulated cluster: {len(ctx.system.completed_jobs)}")
+
+
+def _cosine(a, b):
+    num = sum(x * y for x, y in zip(a, b))
+    den = math.sqrt(sum(x * x for x in a)) * math.sqrt(sum(y * y for y in b))
+    return num / den if den else 0.0
+
+
+def _accuracy(w, data):
+    right = 0
+    for x, y in data:
+        pred = 1 if sigmoid(sum(wi * xi for wi, xi in zip(w, x))) >= 0.5 else 0
+        right += pred == y
+    return right / len(data)
+
+
+if __name__ == "__main__":
+    main()

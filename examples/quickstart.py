@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: word count on a simulated Ursa cluster.
+
+Builds a Spark-like dataset pipeline, runs it as a real job (the UDFs
+actually execute; the cluster, scheduler and timing are simulated), and
+prints both the answer and what the scheduler did.
+
+    python examples/quickstart.py
+"""
+
+from repro.api import UrsaContext
+from repro.cluster import ClusterSpec
+
+TEXT = """
+ursa schedules monotasks ursa allocates resources timely
+monotasks use one resource each so the scheduler can overlap
+cpu of one job with network of another job and keep the cluster busy
+""".split()
+
+
+def main() -> None:
+    ctx = UrsaContext(ClusterSpec.small(num_machines=4, cores=8))
+
+    counts = (
+        ctx.parallelize(TEXT, partitions=8)
+        .map(lambda word: (word, 1))
+        .reduce_by_key(lambda a, b: a + b, partitions=4)
+        .collect()
+    )
+
+    print("word counts:")
+    for word, n in sorted(counts, key=lambda kv: (-kv[1], kv[0]))[:8]:
+        print(f"  {word:12s} {n}")
+
+    job = ctx.system.completed_jobs[-1]
+    plan = job.plan
+    print(f"\nscheduler view of the job:")
+    print(f"  monotasks: {len(plan.monotasks)}  tasks: {len(plan.tasks)}  stages: {len(plan.stages)}")
+    print(f"  simulated JCT: {job.jct:.3f} s on a "
+          f"{ctx.cluster.num_machines}x{ctx.cluster.spec.machine.cores}-core cluster")
+    by_type = {}
+    for mt in plan.monotasks:
+        by_type[mt.rtype.value] = by_type.get(mt.rtype.value, 0) + 1
+    print(f"  monotasks by resource: {by_type}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's headline claim, live: Ursa vs YARN+Spark on a contended
+cluster, with utilization strips.
+
+Runs the same TPC-H-shaped workload through Ursa (EJF and SRJF) and the
+executor-model baseline, then prints makespan / avg JCT / SE / UE and
+ASCII utilization traces — a miniature of Table 2 + Figure 4.
+
+    python examples/scheduling_comparison.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.baselines import YarnSystem, spark_config
+from repro.metrics import compute_metrics, format_metric_rows, multi_series_chart
+from repro.scheduler import UrsaConfig, UrsaSystem
+from repro.workloads import submit_workload, tpch_workload
+
+
+def make_workload():
+    return tpch_workload(
+        n_jobs=10, scale=0.02, arrival_interval=0.6,
+        max_parallelism=128, partition_mb=12.0, seed=7,
+    )
+
+
+def run(name, system):
+    submit_workload(system, make_workload())
+    system.run(max_events=50_000_000)
+    assert system.all_done
+    return compute_metrics(system)
+
+
+def main() -> None:
+    machine = ClusterSpec.paper_cluster().machine
+    spec = ClusterSpec(num_machines=4, machine=machine)
+
+    systems = {
+        "ursa-ejf": UrsaSystem(Cluster(spec), UrsaConfig(policy="ejf")),
+        "ursa-srjf": UrsaSystem(Cluster(spec), UrsaConfig(policy="srjf")),
+        "y+s": YarnSystem(Cluster(spec), spark_config()),
+    }
+    metrics = {}
+    for name, system in systems.items():
+        metrics[name] = run(name, system)
+
+    print(format_metric_rows(metrics, title="mini Table 2 (10 TPC-H jobs, 4 machines)"))
+
+    print("\nmini Figure 4 — cluster CPU / network utilization (busy window):")
+    for name, system in systems.items():
+        end = system.makespan()
+        cluster = system.cluster
+        _g, cpu = cluster.utilization_timeseries("cpu_used", 0, 0.8 * end, dt=max(end / 60, 0.5))
+        _g, net = cluster.utilization_timeseries("net_used", 0, 0.8 * end, dt=max(end / 60, 0.5))
+        print(f"\n  {name} (makespan {metrics[name].makespan:.1f} s)")
+        print(multi_series_chart({"[CPU]Totl%": cpu, "[NET]Recv%": net}))
+
+
+if __name__ == "__main__":
+    main()

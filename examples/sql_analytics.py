@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""OLAP on Ursa: TPC-H-style queries through the mini SQL engine.
+
+Every query compiles onto Ursa's primitives (CPU ops, shuffles) and runs as
+one job on the simulated cluster — the same data path the paper's TPC-H
+workloads exercise (§5.1.1).
+
+    python examples/sql_analytics.py
+"""
+
+from repro.api import UrsaContext
+from repro.api.sql import (
+    Catalog,
+    SqlEngine,
+    generate_tpch_tables,
+    q1_pricing_summary,
+    q3_shipping_priority,
+    q6_forecast_revenue,
+    q14_promo_effect,
+)
+from repro.cluster import ClusterSpec
+
+
+def main() -> None:
+    ctx = UrsaContext(ClusterSpec.small(num_machines=4, cores=8))
+    tables = generate_tpch_tables(scale_rows=120)
+    catalog = Catalog(ctx, default_partitions=6)
+    for name, rows in tables.items():
+        catalog.register(name, rows)
+    engine = SqlEngine(catalog)
+
+    print("Q6 (forecast revenue change):", round(q6_forecast_revenue(catalog), 2))
+    print("Q14 (promo revenue %):       ", round(q14_promo_effect(catalog), 2))
+
+    print("\nQ1 (pricing summary), first rows:")
+    for row in q1_pricing_summary(catalog)[:3]:
+        print("  ", {k: (round(v, 1) if isinstance(v, float) else v) for k, v in row.items()})
+
+    print("\nQ3 (shipping priority), top 5 orders by revenue:")
+    for row in q3_shipping_priority(catalog)[:5]:
+        print(f"   order {row['o_orderkey']:4d}  revenue {row['revenue']:10.2f}")
+
+    print("\nad-hoc SQL:")
+    sql = (
+        "SELECT n_name, count(*) AS customers FROM customer "
+        "JOIN nation ON c_nationkey = n_nationkey "
+        "GROUP BY n_name ORDER BY customers DESC LIMIT 5"
+    )
+    print(engine.explain(sql))
+    for row in engine.sql(sql):
+        print(f"   {row['n_name']:16s} {row['customers']}")
+
+    print(f"\nsimulated time spent: {ctx.cluster.sim.now:.2f} s "
+          f"across {len(ctx.system.completed_jobs)} jobs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` / `python setup.py develop` work in
+offline environments whose setuptools lacks the `wheel` package (the PEP 660
+editable-wheel path needs it; the egg-link develop path does not)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of Ursa (EuroSys '20).
+
+"Improving Resource Utilization by Timely Fine-Grained Scheduling",
+Jin, Cai, Li, Zheng, Jiang, Cheng — EuroSys 2020.
+
+The package provides:
+
+* ``repro.simcore`` / ``repro.cluster`` — a discrete-event cluster substrate
+  (fluid CPU/network/disk, memory ledgers, allocation & usage traces);
+* ``repro.dataflow`` / ``repro.execution`` — Ursa's execution layer:
+  OpGraph primitives, monotask generation, job managers and job processes;
+* ``repro.scheduler`` — Ursa's scheduling layer: resource estimation,
+  Algorithm-1 task placement, EJF/SRJF ordering, per-worker monotask queues;
+* ``repro.baselines`` — executor-model comparators (YARN+Spark, YARN+Tez,
+  MonoSpark/Y+U, Tetris, Capacity, CPU over-subscription);
+* ``repro.api`` — user-facing APIs (UrsaContext, Spark-like Dataset,
+  Pregel-like vertex programs, a mini SQL engine with TPC-H-style tables);
+* ``repro.workloads`` — generators for the paper's TPC-H / TPC-DS / Mixed /
+  TPC-H2 / synthetic expectable workloads;
+* ``repro.metrics`` / ``repro.experiments`` — SE/UE/JCT accounting and one
+  module per table/figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

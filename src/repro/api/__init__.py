@@ -1,0 +1,22 @@
+"""User-facing APIs: UrsaContext, Spark-like datasets, Pregel, mini SQL."""
+
+from .context import Broadcast, UrsaContext
+from .dataset import Dataset
+from .pregel import (
+    VertexProgram,
+    connected_components_program,
+    pagerank_program,
+    run_pregel,
+    sssp_program,
+)
+
+__all__ = [
+    "Broadcast",
+    "UrsaContext",
+    "Dataset",
+    "VertexProgram",
+    "connected_components_program",
+    "pagerank_program",
+    "run_pregel",
+    "sssp_program",
+]

@@ -1,0 +1,40 @@
+"""Mini SQL engine: catalog, relational algebra, parser, TPC-H tables."""
+
+from .catalog import Catalog
+from .parser import SqlEngine, SqlError, parse_and_run
+from .queries import (
+    q1_pricing_summary,
+    q1_reference,
+    q3_reference,
+    q3_shipping_priority,
+    q6_forecast_revenue,
+    q6_reference,
+    q14_promo_effect,
+    q14_reference,
+)
+from .relation import AVG, COUNT, MAX, MIN, SUM, AggSpec, Relation
+from .tpch_schema import TPCH_TABLE_NAMES, generate_tpch_tables
+
+__all__ = [
+    "Catalog",
+    "SqlEngine",
+    "SqlError",
+    "parse_and_run",
+    "q1_pricing_summary",
+    "q1_reference",
+    "q3_reference",
+    "q3_shipping_priority",
+    "q6_forecast_revenue",
+    "q6_reference",
+    "q14_promo_effect",
+    "q14_reference",
+    "AVG",
+    "COUNT",
+    "MAX",
+    "MIN",
+    "SUM",
+    "AggSpec",
+    "Relation",
+    "TPCH_TABLE_NAMES",
+    "generate_tpch_tables",
+]

@@ -1,0 +1,57 @@
+"""Table catalog: named in-memory tables materialized into Relations.
+
+The catalog is the glue between the SQL front end and the Dataset layer:
+``register`` stores rows + schema; ``relation`` partitions them onto the
+simulated cluster as a job input (one fresh OpGraph per query, since a
+query is a job).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..context import UrsaContext
+from .relation import Relation
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    def __init__(self, ctx: UrsaContext, default_partitions: int = 4):
+        self.ctx = ctx
+        self.default_partitions = default_partitions
+        self._tables: dict[str, tuple[list[dict], list[str], int]] = {}
+
+    def register(
+        self,
+        name: str,
+        rows: Sequence[dict],
+        columns: Optional[Sequence[str]] = None,
+        partitions: Optional[int] = None,
+    ) -> None:
+        rows = list(rows)
+        if columns is None:
+            if not rows:
+                raise ValueError(f"cannot infer schema of empty table {name!r}")
+            columns = list(rows[0].keys())
+        self._tables[name.lower()] = (
+            rows,
+            list(columns),
+            partitions or self.default_partitions,
+        )
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def columns(self, name: str) -> list[str]:
+        return list(self._tables[name.lower()][1])
+
+    def relation(self, name: str, graph=None) -> Relation:
+        """Materialize a table as a Relation.  Pass the same ``graph`` for
+        every table used by one query so joins stay within one job."""
+        try:
+            rows, columns, partitions = self._tables[name.lower()]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}; known: {self.tables()}") from None
+        ds = self.ctx.parallelize(rows, partitions=partitions, name=name.lower(), graph=graph)
+        return Relation(ds, columns, name.lower())

@@ -1,0 +1,269 @@
+"""A tiny SQL front end (the "Hive plug-in" stand-in of §4.1.2).
+
+Supported grammar (enough for the TPC-H-shaped queries the experiments run):
+
+    SELECT <item> [, <item>...]
+    FROM <table> [JOIN <table> ON <col> = <col>]...
+    [WHERE <cond> [AND <cond>]...]
+    [GROUP BY <col> [, <col>...]]
+    [ORDER BY <col> [DESC]]
+    [LIMIT <n>]
+
+where <item> is a column, ``agg(col)`` (count/sum/avg/min/max, optionally
+``AS alias``), and <cond> compares a column to a literal with
+=, !=, <, <=, >, >= .  Everything compiles onto the Relation layer, i.e.
+each query runs as one Ursa job.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from .catalog import Catalog
+from .relation import AggSpec, Relation
+
+__all__ = ["SqlError", "parse_and_run", "SqlEngine"]
+
+_AGG_RE = re.compile(
+    r"^(count|sum|avg|min|max)\s*\(\s*(\*|[A-Za-z_][\w.]*)\s*\)(?:\s+as\s+([A-Za-z_]\w*))?$",
+    re.IGNORECASE,
+)
+_COND_RE = re.compile(
+    r"^([A-Za-z_][\w.]*)\s*(=|!=|<=|>=|<|>)\s*(.+)$"
+)
+
+
+class SqlError(ValueError):
+    """Raised on malformed or unsupported SQL."""
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    """Split on sep outside parentheses."""
+    parts, depth, cur = [], 0, []
+    i = 0
+    sep_l = sep.lower()
+    low = text.lower()
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        # separators with surrounding spaces (" join ", " and ") already
+        # carry their own word boundaries; bare-word separators need a check
+        boundary_ok = (
+            not sep_l.strip(" ").isalpha()
+            or sep_l != sep_l.strip(" ")
+            or _word_boundary(low, i, len(sep_l))
+        )
+        if depth == 0 and low.startswith(sep_l, i) and boundary_ok:
+            parts.append("".join(cur).strip())
+            cur = []
+            i += len(sep_l)
+            continue
+        cur.append(ch)
+        i += 1
+    parts.append("".join(cur).strip())
+    return parts
+
+
+def _word_boundary(text: str, i: int, length: int) -> bool:
+    before_ok = i == 0 or not (text[i - 1].isalnum() or text[i - 1] == "_")
+    j = i + length
+    after_ok = j >= len(text) or not (text[j].isalnum() or text[j] == "_")
+    return before_ok and after_ok
+
+
+def _parse_literal(text: str) -> Any:
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or (
+        text.startswith('"') and text.endswith('"')
+    ):
+        return text[1:-1]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise SqlError(f"cannot parse literal {text!r}") from None
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _Query:
+    select_items: list[str]
+    table: str
+    joins: list[tuple[str, str, str]]  # (table, left_col, right_col)
+    where: list[tuple[str, str, Any]]
+    group_by: list[str]
+    order_by: Optional[tuple[str, bool]]
+    limit: Optional[int]
+
+
+def _parse(sql: str) -> _Query:
+    text = " ".join(sql.strip().rstrip(";").split())
+    low = text.lower()
+    if not low.startswith("select "):
+        raise SqlError("query must start with SELECT")
+
+    q = _Query()
+    q.joins, q.where, q.group_by, q.order_by, q.limit = [], [], [], None, None
+
+    # carve the clauses in order
+    def carve(keyword: str, rest: str) -> tuple[Optional[str], str]:
+        idx = _find_keyword(rest, keyword)
+        if idx < 0:
+            return None, rest
+        return rest[idx + len(keyword):].strip(), rest[:idx].strip()
+
+    rest = text[len("select "):]
+    limit_part, rest = carve("limit", rest)
+    order_part, rest = carve("order by", rest)
+    group_part, rest = carve("group by", rest)
+    where_part, rest = carve("where", rest)
+    from_idx = _find_keyword(rest, "from")
+    if from_idx < 0:
+        raise SqlError("missing FROM clause")
+    select_part = rest[:from_idx].strip()
+    from_part = rest[from_idx + 4:].strip()
+
+    q.select_items = [s.strip() for s in _split_top(select_part, ",")]
+    if not q.select_items or not all(q.select_items):
+        raise SqlError("empty SELECT list")
+
+    join_chunks = _split_top(from_part, " join ")
+    q.table = join_chunks[0].strip()
+    for chunk in join_chunks[1:]:
+        m = re.match(
+            r"^([A-Za-z_]\w*)\s+on\s+([A-Za-z_][\w.]*)\s*=\s*([A-Za-z_][\w.]*)$",
+            chunk.strip(),
+            re.IGNORECASE,
+        )
+        if not m:
+            raise SqlError(f"cannot parse JOIN clause {chunk!r}")
+        q.joins.append((m.group(1), m.group(2), m.group(3)))
+
+    if where_part:
+        for cond in _split_top(where_part, " and "):
+            m = _COND_RE.match(cond.strip())
+            if not m:
+                raise SqlError(f"cannot parse condition {cond!r}")
+            q.where.append((m.group(1), m.group(2), _parse_literal(m.group(3))))
+
+    if group_part:
+        q.group_by = [c.strip() for c in group_part.split(",")]
+    if order_part:
+        tokens = order_part.split()
+        desc = len(tokens) > 1 and tokens[1].lower() == "desc"
+        q.order_by = (tokens[0], desc)
+    if limit_part is not None:
+        try:
+            q.limit = int(limit_part)
+        except ValueError:
+            raise SqlError(f"bad LIMIT {limit_part!r}") from None
+    return q
+
+
+def _find_keyword(text: str, keyword: str) -> int:
+    low = text.lower()
+    k = keyword.lower()
+    depth = 0
+    for i in range(len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+        if depth == 0 and low.startswith(k, i) and _word_boundary(low, i, len(k)):
+            return i
+    return -1
+
+
+def _compile(q: _Query, catalog: Catalog) -> Relation:
+    from ...dataflow.graph import OpGraph
+
+    graph = OpGraph(f"sql_{q.table}")
+    rel = catalog.relation(q.table, graph=graph)
+    for table, lcol, rcol in q.joins:
+        right = catalog.relation(table, graph=graph)
+        rel = rel.join(right, on=(_strip_table(lcol), _strip_table(rcol)))
+
+    if q.where:
+        conds = [(col if "." not in col else col.split(".", 1)[1], op, lit) for col, op, lit in q.where]
+
+        def pred(row: dict, conds=conds) -> bool:
+            return all(_OPS[op](row[col], lit) for col, op, lit in conds)
+
+        rel = rel.where(pred)
+
+    aggs: list[AggSpec] = []
+    plain: list[str] = []
+    for item in q.select_items:
+        m = _AGG_RE.match(item)
+        if m:
+            fn, col, alias = m.group(1), m.group(2), m.group(3)
+            col = None if col == "*" else _strip_table(col)
+            aggs.append(AggSpec(fn, col, alias))
+        else:
+            plain.append(_strip_table(item))
+
+    if q.group_by:
+        keys = [_strip_table(k) for k in q.group_by]
+        if set(plain) - set(keys):
+            raise SqlError("non-aggregated SELECT columns must appear in GROUP BY")
+        rel = rel.group_by(*keys).agg(*aggs)
+    elif aggs:
+        rel = rel.group_by().agg(*aggs)  # global aggregate, no keys
+        rel = rel.select(*[a.alias for a in aggs])
+    elif plain and plain != ["*"]:
+        rel = rel.select(*plain)
+
+    if q.order_by:
+        rel = rel.order_by(q.order_by[0], desc=q.order_by[1])
+    if q.limit is not None:
+        rel = rel.limit(q.limit)
+    return rel
+
+
+def _strip_table(col: str) -> str:
+    return col.split(".", 1)[1] if "." in col else col
+
+
+def parse_and_run(sql: str, catalog: Catalog) -> list[dict]:
+    """Parse, compile onto the Relation layer, run as one job, return rows."""
+    return _compile(_parse(sql), catalog).rows()
+
+
+class SqlEngine:
+    """Convenience wrapper: an engine bound to a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def sql(self, query: str) -> list[dict]:
+        return parse_and_run(query, self.catalog)
+
+    def explain(self, query: str) -> str:
+        q = _parse(query)
+        lines = [f"SELECT {', '.join(q.select_items)}", f"  FROM {q.table}"]
+        for t, l, r in q.joins:
+            lines.append(f"  JOIN {t} ON {l} = {r}")
+        if q.where:
+            lines.append("  WHERE " + " AND ".join(f"{c} {o} {v!r}" for c, o, v in q.where))
+        if q.group_by:
+            lines.append("  GROUP BY " + ", ".join(q.group_by))
+        if q.order_by:
+            lines.append(f"  ORDER BY {q.order_by[0]}{' DESC' if q.order_by[1] else ''}")
+        if q.limit is not None:
+            lines.append(f"  LIMIT {q.limit}")
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Mini TPC-H queries, runnable as real jobs on the simulated cluster.
+
+Q1, Q3, Q6 and Q14 re-expressed over the mini schema via the Relation API
+(Q14 and Q8-like join shapes are the ones the paper profiles in Fig. 1 /
+Table 1).  Each call builds a fresh OpGraph so the query runs as one job.
+Reference implementations in plain Python (``*_reference``) let tests check
+the distributed results exactly.
+"""
+
+from __future__ import annotations
+
+from .catalog import Catalog
+from .relation import AVG, COUNT, SUM
+
+__all__ = [
+    "q1_pricing_summary", "q1_reference",
+    "q3_shipping_priority", "q3_reference",
+    "q6_forecast_revenue", "q6_reference",
+    "q14_promo_effect", "q14_reference",
+]
+
+
+def q1_pricing_summary(catalog: Catalog, ship_cutoff: int = 19980902) -> list[dict]:
+    """Q1: per (returnflag, linestatus) pricing aggregates."""
+    li = catalog.relation("lineitem")
+    rel = (
+        li.where(lambda r: r["l_shipdate"] <= ship_cutoff)
+        .select(
+            "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+            disc_price=lambda r: r["l_extendedprice"] * (1 - r["l_discount"]),
+        )
+        .group_by("l_returnflag", "l_linestatus")
+        .agg(
+            SUM("l_quantity", "sum_qty"),
+            SUM("l_extendedprice", "sum_base_price"),
+            SUM("disc_price", "sum_disc_price"),
+            AVG("l_quantity", "avg_qty"),
+            COUNT(None, "count_order"),
+        )
+        .order_by("l_returnflag")
+    )
+    return rel.rows()
+
+
+def q1_reference(tables, ship_cutoff: int = 19980902) -> dict:
+    acc: dict = {}
+    for r in tables["lineitem"]:
+        if r["l_shipdate"] > ship_cutoff:
+            continue
+        key = (r["l_returnflag"], r["l_linestatus"])
+        a = acc.setdefault(key, dict(qty=0, base=0.0, disc=0.0, n=0))
+        a["qty"] += r["l_quantity"]
+        a["base"] += r["l_extendedprice"]
+        a["disc"] += r["l_extendedprice"] * (1 - r["l_discount"])
+        a["n"] += 1
+    return acc
+
+
+def q3_shipping_priority(catalog: Catalog, segment: str = "BUILDING", cutoff: int = 19950315) -> list[dict]:
+    """Q3: revenue of unshipped orders for one market segment."""
+    cust = catalog.relation("customer")
+    # join chain: customer -> orders -> lineitem; built on one shared graph
+    graph = cust.dataset.graph
+    orders = catalog.relation("orders", graph=graph)
+    li = catalog.relation("lineitem", graph=graph)
+    rel = (
+        cust.where(lambda r: r["c_mktsegment"] == segment)
+        .join(orders, on=("c_custkey", "o_custkey"))
+        .where(lambda r: r["o_orderdate"] < cutoff)
+        .join(li, on=("o_orderkey", "l_orderkey"))
+        .select(
+            "o_orderkey", "o_orderdate",
+            revenue=lambda r: r["l_extendedprice"] * (1 - r["l_discount"]),
+        )
+        .group_by("o_orderkey", "o_orderdate")
+        .agg(SUM("revenue", "revenue"))
+        .order_by("revenue", desc=True)
+        .limit(10)
+    )
+    return rel.rows()
+
+
+def q3_reference(tables, segment: str = "BUILDING", cutoff: int = 19950315) -> dict:
+    segment_custs = {c["c_custkey"] for c in tables["customer"] if c["c_mktsegment"] == segment}
+    open_orders = {
+        o["o_orderkey"]: o
+        for o in tables["orders"]
+        if o["o_custkey"] in segment_custs and o["o_orderdate"] < cutoff
+    }
+    rev: dict = {}
+    for r in tables["lineitem"]:
+        if r["l_orderkey"] in open_orders:
+            rev[r["l_orderkey"]] = rev.get(r["l_orderkey"], 0.0) + r["l_extendedprice"] * (
+                1 - r["l_discount"]
+            )
+    return rev
+
+
+def q6_forecast_revenue(
+    catalog: Catalog, year_lo: int = 19940101, year_hi: int = 19950101,
+    disc_lo: float = 0.02, disc_hi: float = 0.09, max_qty: int = 24,
+) -> float:
+    """Q6: revenue increase from a discount/quantity band."""
+    li = catalog.relation("lineitem")
+    rows = (
+        li.where(
+            lambda r: year_lo <= r["l_shipdate"] < year_hi
+            and disc_lo <= r["l_discount"] <= disc_hi
+            and r["l_quantity"] < max_qty
+        )
+        .select(revenue=lambda r: r["l_extendedprice"] * r["l_discount"])
+        .group_by()
+        .agg(SUM("revenue", "revenue"))
+        .rows()
+    )
+    return rows[0]["revenue"] if rows else 0.0
+
+
+def q6_reference(tables, year_lo=19940101, year_hi=19950101, disc_lo=0.02, disc_hi=0.09, max_qty=24) -> float:
+    return sum(
+        r["l_extendedprice"] * r["l_discount"]
+        for r in tables["lineitem"]
+        if year_lo <= r["l_shipdate"] < year_hi
+        and disc_lo <= r["l_discount"] <= disc_hi
+        and r["l_quantity"] < max_qty
+    )
+
+
+def q14_promo_effect(catalog: Catalog, month_lo: int = 19950101, month_hi: int = 19960101) -> float:
+    """Q14: % of revenue from promo parts in one month (Fig 1e/1f query)."""
+    li = catalog.relation("lineitem")
+    part = catalog.relation("part", graph=li.dataset.graph)
+    rows = (
+        li.where(lambda r: month_lo <= r["l_shipdate"] < month_hi)
+        .join(part, on=("l_partkey", "p_partkey"))
+        .select(
+            revenue=lambda r: r["l_extendedprice"] * (1 - r["l_discount"]),
+            promo=lambda r: (
+                r["l_extendedprice"] * (1 - r["l_discount"])
+                if r["p_type"].startswith("PROMO")
+                else 0.0
+            ),
+        )
+        .group_by()
+        .agg(SUM("revenue", "revenue"), SUM("promo", "promo"))
+        .rows()
+    )
+    if not rows or rows[0]["revenue"] == 0:
+        return 0.0
+    return 100.0 * rows[0]["promo"] / rows[0]["revenue"]
+
+
+def q14_reference(tables, month_lo: int = 19950101, month_hi: int = 19960101) -> float:
+    ptype = {p["p_partkey"]: p["p_type"] for p in tables["part"]}
+    rev = promo = 0.0
+    for r in tables["lineitem"]:
+        if not (month_lo <= r["l_shipdate"] < month_hi):
+            continue
+        amount = r["l_extendedprice"] * (1 - r["l_discount"])
+        rev += amount
+        if ptype[r["l_partkey"]].startswith("PROMO"):
+            promo += amount
+    return 100.0 * promo / rev if rev else 0.0

@@ -1,0 +1,182 @@
+"""A mini relational-algebra layer over the Dataset API.
+
+Tables are datasets of dict rows.  Operators compose lazily (each adds ops
+to the job's OpGraph, so a whole query runs as one Ursa job):
+
+* ``select`` / ``project`` — narrow CPU op;
+* ``where`` — narrow CPU op with filter m2i (§4.2.1's default m2i table);
+* ``join`` — hash join via ser/shuffle/join ops, m2i = 1 + selectivity;
+* ``group_by(...).agg(...)`` — local pre-aggregation, shuffle, final merge
+  (the reduceByKey pattern of §4.1.2);
+* ``order_by`` / ``limit`` — gather to one partition and sort.
+
+This is the substrate behind the Hive-plug-in-style SQL front end in
+``parser.py``; both exist so the TPC-H-shaped experiments run real queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..dataset import Dataset
+
+__all__ = ["Relation", "AggSpec", "COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+
+class AggSpec:
+    """An aggregate over a column: AggSpec('sum', 'price', alias='revenue')."""
+
+    __slots__ = ("fn", "column", "alias")
+
+    def __init__(self, fn: str, column: Optional[str], alias: Optional[str] = None):
+        fn = fn.lower()
+        if fn not in ("count", "sum", "avg", "min", "max"):
+            raise ValueError(f"unsupported aggregate {fn!r}")
+        self.fn = fn
+        self.column = column
+        self.alias = alias or (f"{fn}_{column}" if column else fn)
+
+
+def COUNT(column: Optional[str] = None, alias: Optional[str] = None) -> AggSpec:
+    return AggSpec("count", column, alias)
+
+
+def SUM(column: str, alias: Optional[str] = None) -> AggSpec:
+    return AggSpec("sum", column, alias)
+
+
+def AVG(column: str, alias: Optional[str] = None) -> AggSpec:
+    return AggSpec("avg", column, alias)
+
+
+def MIN(column: str, alias: Optional[str] = None) -> AggSpec:
+    return AggSpec("min", column, alias)
+
+
+def MAX(column: str, alias: Optional[str] = None) -> AggSpec:
+    return AggSpec("max", column, alias)
+
+
+class Relation:
+    """A lazily-composed relational query plan over dict rows."""
+
+    def __init__(self, dataset: Dataset, columns: Sequence[str], name: str = "rel"):
+        self.dataset = dataset
+        self.columns = list(columns)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def select(self, *columns: str, **computed: Callable[[dict], Any]) -> "Relation":
+        cols = list(columns)
+
+        def project(row: dict) -> dict:
+            out = {c: row[c] for c in cols}
+            for alias, fn in computed.items():
+                out[alias] = fn(row)
+            return out
+
+        ds = self.dataset.map(project)
+        return Relation(ds, cols + list(computed), self.name)
+
+    def where(self, pred: Callable[[dict], bool]) -> "Relation":
+        return Relation(self.dataset.filter(pred), self.columns, self.name)
+
+    def join(self, other: "Relation", on: str | tuple[str, str], partitions: Optional[int] = None) -> "Relation":
+        left_key, right_key = (on, on) if isinstance(on, str) else on
+        left = self.dataset.map(lambda r, k=left_key: (r[k], r))
+        right = other.dataset.map(lambda r, k=right_key: (r[k], r))
+        joined = left.join(right, partitions=partitions)
+
+        def merge(pair):
+            _key, (lrow, rrow) = pair
+            out = dict(lrow)
+            for k, v in rrow.items():
+                out[k if k not in out else f"{other.name}.{k}"] = v
+            return out
+
+        ds = joined.map(merge)
+        merged_cols = self.columns + [
+            c if c not in self.columns else f"{other.name}.{c}" for c in other.columns
+        ]
+        return Relation(ds, merged_cols, f"{self.name}_join_{other.name}")
+
+    def group_by(self, *keys: str) -> "GroupedRelation":
+        return GroupedRelation(self, list(keys))
+
+    def order_by(self, column: str, desc: bool = False, partitions: int = 1) -> "Relation":
+        # gather via a single-shard shuffle, then sort
+        keyed = self.dataset.map(lambda r: (0, r))
+        gathered = keyed.group_by_key(partitions=partitions)
+
+        def sort_rows(ins_pair):
+            _k, rows = ins_pair
+            return sorted(rows, key=lambda r: r[column], reverse=desc)
+
+        ds = gathered.flat_map(sort_rows)
+        return Relation(ds, self.columns, self.name)
+
+    def limit(self, n: int) -> "Relation":
+        return Relation(
+            self.dataset.map_partitions(lambda rows: rows[:n]), self.columns, self.name
+        )
+
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict]:
+        """Action: run the job and return the result rows."""
+        return self.dataset.collect()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Relation({self.name}, cols={self.columns})"
+
+
+class GroupedRelation:
+    """Result of ``group_by``; terminate with ``agg``."""
+
+    def __init__(self, rel: Relation, keys: list[str]):
+        self.rel = rel
+        self.keys = keys
+
+    def agg(self, *aggs: AggSpec, partitions: Optional[int] = None) -> Relation:
+        keys = self.keys
+        specs = list(aggs)
+
+        def to_state(row: dict):
+            key = tuple(row[k] for k in keys)
+            state = []
+            for a in specs:
+                val = row[a.column] if a.column else None
+                if a.fn == "count":
+                    state.append(1)
+                elif a.fn == "avg":
+                    state.append((val, 1))
+                else:
+                    state.append(val)
+            return (key, state)
+
+        def merge_state(s1, s2):
+            out = []
+            for a, x, y in zip(specs, s1, s2):
+                if a.fn == "count":
+                    out.append(x + y)
+                elif a.fn == "sum":
+                    out.append(x + y)
+                elif a.fn == "avg":
+                    out.append((x[0] + y[0], x[1] + y[1]))
+                elif a.fn == "min":
+                    out.append(min(x, y))
+                else:
+                    out.append(max(x, y))
+            return out
+
+        keyed = self.rel.dataset.map(to_state)
+        reduced = keyed.reduce_by_key(merge_state, partitions=partitions)
+
+        def finalize(pair):
+            key, state = pair
+            row = {k: key[i] for i, k in enumerate(keys)}
+            for a, s in zip(specs, state):
+                row[a.alias] = (s[0] / s[1]) if a.fn == "avg" else s
+            return row
+
+        ds = reduced.map(finalize)
+        return Relation(ds, keys + [a.alias for a in specs], f"{self.rel.name}_agg")

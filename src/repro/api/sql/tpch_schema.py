@@ -1,0 +1,127 @@
+"""Synthetic TPC-H-style tables (the 200 GB–1 TB datasets, shrunk).
+
+Generates the classic schema (region, nation, customer, supplier, part,
+orders, lineitem) with seeded randomness at a row-count scale small enough
+to execute as real data on the simulated cluster.  Columns keep TPC-H
+semantics (dates as integer yyyymmdd, prices as floats, discounts in
+[0, 0.1]) so the mini queries in ``queries.py`` compute meaningful answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...simcore.rng import derive_rng
+
+__all__ = ["generate_tpch_tables", "TPCH_TABLE_NAMES"]
+
+TPCH_TABLE_NAMES = [
+    "region", "nation", "customer", "supplier", "part", "orders", "lineitem",
+]
+
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_PART_TYPES = ["PROMO BRUSHED", "STANDARD POLISHED", "SMALL PLATED", "ECONOMY BURNISHED"]
+_STATUSES = ["F", "O", "P"]
+
+
+def _date(rng: np.random.Generator, year_lo=1992, year_hi=1998) -> int:
+    y = int(rng.integers(year_lo, year_hi + 1))
+    m = int(rng.integers(1, 13))
+    d = int(rng.integers(1, 29))
+    return y * 10000 + m * 100 + d
+
+
+def generate_tpch_tables(scale_rows: int = 200, seed: int = 7) -> dict[str, list[dict]]:
+    """Generate all seven tables; ``scale_rows`` ≈ number of orders."""
+    rng = derive_rng(seed, "tpch_tables")
+    n_orders = scale_rows
+    n_customers = max(10, scale_rows // 4)
+    n_parts = max(10, scale_rows // 4)
+    n_suppliers = max(5, scale_rows // 20)
+
+    tables: dict[str, list[dict]] = {}
+    tables["region"] = [
+        {"r_regionkey": i, "r_name": name} for i, name in enumerate(_REGIONS)
+    ]
+    tables["nation"] = [
+        {"n_nationkey": i, "n_name": name, "n_regionkey": region}
+        for i, (name, region) in enumerate(_NATIONS)
+    ]
+    tables["customer"] = [
+        {
+            "c_custkey": i,
+            "c_name": f"Customer#{i:06d}",
+            "c_nationkey": int(rng.integers(0, len(_NATIONS))),
+            "c_mktsegment": _SEGMENTS[int(rng.integers(0, len(_SEGMENTS)))],
+            "c_acctbal": round(float(rng.uniform(-999, 9999)), 2),
+        }
+        for i in range(n_customers)
+    ]
+    tables["supplier"] = [
+        {
+            "s_suppkey": i,
+            "s_name": f"Supplier#{i:06d}",
+            "s_nationkey": int(rng.integers(0, len(_NATIONS))),
+            "s_acctbal": round(float(rng.uniform(-999, 9999)), 2),
+        }
+        for i in range(n_suppliers)
+    ]
+    tables["part"] = [
+        {
+            "p_partkey": i,
+            "p_name": f"part {i}",
+            "p_type": _PART_TYPES[int(rng.integers(0, len(_PART_TYPES)))],
+            "p_retailprice": round(900.0 + float(rng.uniform(0, 200)), 2),
+        }
+        for i in range(n_parts)
+    ]
+    orders = []
+    lineitems = []
+    for okey in range(n_orders):
+        odate = _date(rng)
+        orders.append(
+            {
+                "o_orderkey": okey,
+                "o_custkey": int(rng.integers(0, n_customers)),
+                "o_orderstatus": _STATUSES[int(rng.integers(0, 3))],
+                "o_totalprice": 0.0,  # filled below
+                "o_orderdate": odate,
+                "o_orderpriority": f"{int(rng.integers(1, 6))}-PRIORITY",
+            }
+        )
+        total = 0.0
+        for line in range(int(rng.integers(1, 8))):
+            qty = int(rng.integers(1, 51))
+            price = round(float(rng.uniform(900, 1100)) * qty / 10.0, 2)
+            disc = round(float(rng.uniform(0.0, 0.1)), 2)
+            tax = round(float(rng.uniform(0.0, 0.08)), 2)
+            total += price * (1 - disc)
+            lineitems.append(
+                {
+                    "l_orderkey": okey,
+                    "l_linenumber": line,
+                    "l_partkey": int(rng.integers(0, n_parts)),
+                    "l_suppkey": int(rng.integers(0, n_suppliers)),
+                    "l_quantity": qty,
+                    "l_extendedprice": price,
+                    "l_discount": disc,
+                    "l_tax": tax,
+                    "l_returnflag": ["A", "N", "R"][int(rng.integers(0, 3))],
+                    "l_linestatus": ["F", "O"][int(rng.integers(0, 2))],
+                    "l_shipdate": odate + int(rng.integers(0, 90)),
+                }
+            )
+        orders[-1]["o_totalprice"] = round(total, 2)
+    tables["orders"] = orders
+    tables["lineitem"] = lineitems
+    return tables

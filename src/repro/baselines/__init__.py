@@ -1,0 +1,23 @@
+"""Executor-model baselines: YARN RM, Spark/Tez apps, MonoSpark (Y+U),
+and the Tetris / Capacity placement comparators."""
+
+from .containers import Container
+from .executor import ExecutorApp, ExecutorConfig, spark_config, tez_config
+from .monospark import MonoSparkApp
+from .system import YarnSystem
+from .tetris import CapacityPlacement, TetrisPlacement
+from .yarn import YarnConfig, YarnRM
+
+__all__ = [
+    "Container",
+    "ExecutorApp",
+    "ExecutorConfig",
+    "spark_config",
+    "tez_config",
+    "MonoSparkApp",
+    "YarnSystem",
+    "CapacityPlacement",
+    "TetrisPlacement",
+    "YarnConfig",
+    "YarnRM",
+]

@@ -1,0 +1,69 @@
+"""Containers — the coarse-grained allocation unit of the executor model.
+
+A container reserves a fixed number of cores and a fixed memory footprint on
+one machine for as long as it lives, regardless of what the tasks inside it
+are momentarily doing.  That gap — reserved-but-idle resources during fetch
+phases, small stages, or ramp-downs — is precisely the UE loss the paper's
+§2/§5.1.1 analysis attributes to executor-based systems.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Container"]
+
+
+class Container:
+    """A granted YARN container hosting task slots for one application."""
+
+    __slots__ = (
+        "cid", "app_id", "machine_index", "cores", "memory_mb",
+        "used_slots", "granted_at", "released_at", "idle_since",
+    )
+
+    def __init__(self, cid: int, app_id: int, machine_index: int, cores: int, memory_mb: float, now: float):
+        self.cid = cid
+        self.app_id = app_id
+        self.machine_index = machine_index
+        self.cores = cores
+        self.memory_mb = memory_mb
+        self.used_slots = 0
+        self.granted_at = now
+        self.released_at: Optional[float] = None
+        self.idle_since: Optional[float] = now
+
+    @property
+    def slots(self) -> int:
+        """One task slot per core, as in Spark/Tez executor sizing."""
+        return self.cores
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self.used_slots
+
+    @property
+    def idle(self) -> bool:
+        return self.used_slots == 0
+
+    @property
+    def released(self) -> bool:
+        return self.released_at is not None
+
+    def take_slot(self, now: float) -> None:
+        # the app enforces its slot cap (MonoSpark admits slots × multiplier)
+        self.used_slots += 1
+        self.idle_since = None
+
+    def free_slot(self, now: float) -> None:
+        if self.used_slots <= 0:
+            raise RuntimeError(f"container {self.cid} has no used slots")
+        self.used_slots -= 1
+        if self.used_slots == 0:
+            self.idle_since = now
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Container({self.cid}@m{self.machine_index}, app={self.app_id}, "
+            f"{self.used_slots}/{self.slots} slots)"
+        )

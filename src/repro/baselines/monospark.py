@@ -1,0 +1,109 @@
+"""Y+U: Ursa's execution layer as an executor-based YARN app (≈ MonoSpark).
+
+This is the paper's §5.1.2 "Is monotask sufficient?" simulation: the job
+keeps local per-resource monotask queues (so I/O and compute *within the
+job* overlap, like MonoSpark), but its resources come from YARN containers
+that are requested like Spark executors and held regardless of instantaneous
+use.  Fine-grained sharing happens only inside the job — not across jobs —
+which is exactly why its UE stays executor-grade.
+
+Implementation: task→container dispatch is inherited from
+:class:`ExecutorApp` (slot-based, with a 2× slot multiplier so fetches of
+one batch overlap the computation of another), while monotask execution goes
+through per-machine per-resource queues with Ursa-style ordering and
+concurrency limits instead of running phases back-to-back in the slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Monotask, MonotaskState
+from ..execution.jobmanager import JobManager
+from .containers import Container
+from .executor import ExecutorApp
+
+__all__ = ["MonoSparkApp"]
+
+_RES = (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK)
+
+
+class _MachineQueues:
+    """Per-machine, per-resource local queues of one MonoSpark job."""
+
+    __slots__ = ("queues", "running")
+
+    def __init__(self) -> None:
+        self.queues: dict[ResourceType, deque[Monotask]] = {r: deque() for r in _RES}
+        self.running: dict[ResourceType, int] = {r: 0 for r in _RES}
+
+
+class MonoSparkApp(ExecutorApp):
+    """ExecutorApp variant with intra-job per-resource queues (Y+U)."""
+
+    NETWORK_CONCURRENCY = 2
+    DISK_CONCURRENCY = 1
+    slot_multiplier = 2  # overlap: one batch fetching, one computing
+
+    def __init__(self, rm, cluster, job, config, on_done=None):
+        super().__init__(rm, cluster, job, config, on_done)
+        self._mq: dict[int, _MachineQueues] = {}
+
+    def _machine_queues(self, machine_index: int) -> _MachineQueues:
+        mq = self._mq.get(machine_index)
+        if mq is None:
+            mq = _MachineQueues()
+            self._mq[machine_index] = mq
+        return mq
+
+    def _cores_held(self, machine_index: int) -> int:
+        return sum(
+            c.cores
+            for c in self.containers.values()
+            if not c.released and c.machine_index == machine_index
+        )
+
+    # ------------------------------------------------------------------
+    # local per-resource queues (MonoSpark's mechanism)
+    # ------------------------------------------------------------------
+    def enqueue_monotask(self, jm: JobManager, mt: Monotask) -> None:
+        assert mt.task is not None and mt.task.worker is not None
+        mt.state = MonotaskState.QUEUED
+        mq = self._machine_queues(mt.task.worker)
+        q = mq.queues[mt.rtype]
+        q.append(mt)
+        # monotask ordering as in Ursa: big CPU first, small net/disk first
+        if mt.rtype is ResourceType.CPU:
+            ordered = sorted(q, key=lambda m: -m.input_size_mb)
+        else:
+            ordered = sorted(q, key=lambda m: m.input_size_mb)
+        q.clear()
+        q.extend(ordered)
+        self._drain(mt.task.worker, mt.rtype)
+
+    def _limit(self, machine_index: int, rtype: ResourceType) -> int:
+        if rtype is ResourceType.CPU:
+            return self._cores_held(machine_index)
+        if rtype is ResourceType.NETWORK:
+            return self.NETWORK_CONCURRENCY
+        return self.DISK_CONCURRENCY
+
+    def _drain(self, machine_index: int, rtype: ResourceType) -> None:
+        mq = self._machine_queues(machine_index)
+        q = mq.queues[rtype]
+        while q and mq.running[rtype] < self._limit(machine_index, rtype):
+            mt = q.popleft()
+            mq.running[rtype] += 1
+            self.jm.run_monotask(mt, self._mono_done)
+
+    def _mono_done(self, mt: Monotask) -> None:
+        assert mt.task is not None and mt.task.worker is not None
+        mq = self._machine_queues(mt.task.worker)
+        mq.running[mt.rtype] -= 1
+        self._drain(mt.task.worker, mt.rtype)
+
+    def _idle_check(self, container: Container) -> None:
+        # a released container shrinks this machine's CPU concurrency; any
+        # queued work keeps draining under the smaller limit
+        super()._idle_check(container)

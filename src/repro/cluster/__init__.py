@@ -1,0 +1,7 @@
+"""Simulated cluster: machines, specs, fabric wiring, utilization views."""
+
+from .cluster import Cluster
+from .machine import Machine
+from .spec import GBPS_TO_MBPS, ClusterSpec, MachineSpec
+
+__all__ = ["Cluster", "Machine", "ClusterSpec", "MachineSpec", "GBPS_TO_MBPS"]

@@ -1,0 +1,21 @@
+"""Ursa's dataflow layer: OpGraph primitives and monotask planning."""
+
+from .graph import DataHandle, DepType, GraphError, Op, OpGraph, ResourceType
+from .monotask import Monotask, MonotaskState, Stage, Task, TaskState
+from .planner import PlannedJob, plan_job
+
+__all__ = [
+    "DataHandle",
+    "DepType",
+    "GraphError",
+    "Op",
+    "OpGraph",
+    "ResourceType",
+    "Monotask",
+    "MonotaskState",
+    "Stage",
+    "Task",
+    "TaskState",
+    "PlannedJob",
+    "plan_job",
+]

@@ -1,0 +1,169 @@
+"""Monotask / Task / Stage structures (§4.1.3).
+
+* A **monotask** performs one op (or a fused chain of async-connected CPU
+  ops) on one output partition, using exactly one resource type.
+* A **task** is a connected component of the monotask DAG after removing the
+  in-edges of all network monotasks; its monotasks are collocated because
+  network transfer is pull-based (the data lands where the task runs).
+* A **stage** is the set of tasks generated from the same ops.
+
+Planner output is immutable structure; runtime state (readiness, placement,
+measured sizes) lives in small mutable fields the execution layer owns.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from .graph import DepType, Op, ResourceType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .planner import PlannedJob
+
+__all__ = ["Monotask", "Task", "Stage", "MonotaskState", "TaskState"]
+
+
+class MonotaskState(enum.Enum):
+    PENDING = "pending"    # intra-task parents not finished
+    READY = "ready"        # sent (or sendable) to a worker queue
+    QUEUED = "queued"      # waiting in a worker's per-resource queue
+    RUNNING = "running"
+    DONE = "done"
+
+
+class TaskState(enum.Enum):
+    BLOCKED = "blocked"    # some parent task unfinished
+    READY = "ready"        # all parents done; awaiting placement
+    PLACED = "placed"      # assigned to a worker
+    DONE = "done"
+
+
+class Monotask:
+    """One unit of single-resource work."""
+
+    __slots__ = (
+        "mt_id", "ops", "rtype", "partition_index", "parents", "children",
+        "task", "state", "input_size_mb", "work_mb", "started_at",
+        "finished_at", "sources", "expected_out_mb", "chain_outputs",
+    )
+
+    def __init__(self, mt_id: int, ops: list[Op], partition_index: int):
+        if not ops:
+            raise ValueError("a monotask needs at least one op")
+        rtypes = {op.rtype for op in ops}
+        if len(rtypes) != 1:
+            raise ValueError("fused ops must share one resource type")
+        self.mt_id = mt_id
+        self.ops = ops
+        self.rtype: ResourceType = ops[0].rtype
+        self.partition_index = partition_index
+        self.parents: list["Monotask"] = []
+        self.children: list["Monotask"] = []
+        self.task: Optional["Task"] = None
+        self.state = MonotaskState.PENDING
+        # Resolved by the JM when the task becomes ready / the monotask runs.
+        self.input_size_mb: float = 0.0
+        self.work_mb: float = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        # network: (machine, size) pull list resolved from metadata
+        self.sources: Optional[list[tuple[int, float]]] = None
+        # expected size of this monotask's final output partition
+        self.expected_out_mb: float = 0.0
+        # per-op expected output sizes along a fused CPU chain:
+        # list of (DataHandle, size_mb) for every dataset the chain creates
+        self.chain_outputs: Optional[list] = None
+
+    @property
+    def head_op(self) -> Op:
+        return self.ops[0]
+
+    @property
+    def is_network(self) -> bool:
+        return self.rtype is ResourceType.NETWORK
+
+    @property
+    def intra_task_parents(self) -> list["Monotask"]:
+        return [p for p in self.parents if p.task is self.task]
+
+    @property
+    def is_task_source(self) -> bool:
+        """True if runnable as soon as the task is placed (no intra-task deps)."""
+        return not self.intra_task_parents
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = "+".join(op.name for op in self.ops)
+        return f"Monotask({self.mt_id}:{names}[{self.partition_index}], {self.rtype.value})"
+
+
+class Task:
+    """A connected component of collocated monotasks."""
+
+    __slots__ = (
+        "task_id", "monotasks", "stage", "parents", "children",
+        "state", "worker", "locality", "est_cpu_mb", "est_net_mb",
+        "est_disk_mb", "est_mem_mb", "remaining_parents", "remaining_monotasks",
+        "ready_at", "placed_at", "finished_at",
+    )
+
+    def __init__(self, task_id: int, monotasks: list[Monotask]):
+        self.task_id = task_id
+        self.monotasks = monotasks
+        for m in monotasks:
+            m.task = self
+        self.stage: Optional["Stage"] = None
+        self.parents: set["Task"] = set()
+        self.children: set["Task"] = set()
+        self.state = TaskState.BLOCKED
+        self.worker: Optional[int] = None
+        self.locality: Optional[int] = None  # hard placement constraint
+        self.est_cpu_mb = 0.0
+        self.est_net_mb = 0.0
+        self.est_disk_mb = 0.0
+        self.est_mem_mb = 0.0
+        self.remaining_parents = 0
+        self.remaining_monotasks = len(monotasks)
+        self.ready_at: Optional[float] = None
+        self.placed_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def cpu_monotasks(self) -> list[Monotask]:
+        return [m for m in self.monotasks if m.rtype is ResourceType.CPU]
+
+    @property
+    def source_monotasks(self) -> list[Monotask]:
+        return [m for m in self.monotasks if m.is_task_source]
+
+    def input_size_mb(self) -> float:
+        """Total bytes entering the task (drives size-ordered queueing and
+        the memory estimate's `I(t)` in §4.2.1)."""
+        return sum(m.input_size_mb for m in self.monotasks if m.is_task_source)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Task({self.task_id}, |m|={len(self.monotasks)}, {self.state.value})"
+
+
+class Stage:
+    """Tasks generated from the same set of ops."""
+
+    __slots__ = ("stage_id", "signature", "tasks", "name")
+
+    def __init__(self, stage_id: int, signature: frozenset, tasks: list[Task], name: str):
+        self.stage_id = stage_id
+        self.signature = signature
+        self.tasks = tasks
+        self.name = name
+        for t in tasks:
+            t.stage = self
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def ready_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state is TaskState.READY]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Stage({self.stage_id}:{self.name}, tasks={len(self.tasks)})"

@@ -1,0 +1,33 @@
+"""Ursa's execution layer: jobs, JMs, JPs, metadata."""
+
+from .estimator import (
+    estimate_task_memory,
+    estimate_task_usage,
+    static_size_totals,
+    task_m2i,
+)
+from .job import Job, JobState
+from .jobmanager import JobManager, SchedulerBackend
+from .jobprocess import JobProcess
+from .metadata import (
+    DEFAULT_MB_PER_ELEMENT,
+    MetadataStore,
+    PartitionRecord,
+    estimate_payload_mb,
+)
+
+__all__ = [
+    "estimate_task_memory",
+    "estimate_task_usage",
+    "static_size_totals",
+    "task_m2i",
+    "Job",
+    "JobState",
+    "JobManager",
+    "SchedulerBackend",
+    "JobProcess",
+    "DEFAULT_MB_PER_ELEMENT",
+    "MetadataStore",
+    "PartitionRecord",
+    "estimate_payload_mb",
+]

@@ -1,0 +1,78 @@
+"""Job records: lifecycle state, timings, and remaining-work accounting."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..dataflow.graph import OpGraph, ResourceType
+from ..dataflow.planner import PlannedJob, plan_job
+from .estimator import static_size_totals
+
+__all__ = ["JobState", "Job"]
+
+
+class JobState(enum.Enum):
+    SUBMITTED = "submitted"   # waiting for admission (memory gate, §4.2.2)
+    ADMITTED = "admitted"     # JM created; tasks being scheduled
+    DONE = "done"
+
+
+class Job:
+    """One submitted job: its graph, plan, and lifecycle bookkeeping."""
+
+    _RES_KEYS = (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK)
+
+    def __init__(
+        self,
+        job_id: int,
+        graph: OpGraph,
+        submit_time: float,
+        requested_memory_mb: float,
+        category: str = "generic",
+    ):
+        self.job_id = job_id
+        self.graph = graph
+        self.plan: PlannedJob = plan_job(graph)
+        self.submit_time = submit_time
+        self.requested_memory_mb = float(requested_memory_mb)
+        self.category = category
+
+        self.state = JobState.SUBMITTED
+        self.admit_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+        # Remaining per-resource work R (MB), used by SRJF (§4.2.2 "Job
+        # ordering").  Initialized from the static size propagation ("based
+        # on historical information") and decremented as monotasks finish.
+        self.remaining_work: dict[ResourceType, float] = static_size_totals(graph)
+        self.tasks_done = 0
+        self.cpu_seconds_used = 0.0
+        # Ratio of a task's true memory footprint to its estimate; < 1 models
+        # the conservative over-estimation UE_mem exposes (§2 "inaccurate
+        # container sizing").  Workload generators set realistic values.
+        self.memory_accuracy = 1.0
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.plan.tasks)
+
+    @property
+    def done(self) -> bool:
+        return self.state is JobState.DONE
+
+    @property
+    def jct(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    def decrement_remaining(self, rtype: ResourceType, amount: float) -> None:
+        self.remaining_work[rtype] = max(0.0, self.remaining_work[rtype] - amount)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Job({self.job_id}:{self.name}, {self.state.value})"

@@ -1,0 +1,297 @@
+"""Job Managers (§4.1.3) — one per job.
+
+The JM owns the job's monotask DAG and drives the execution flow:
+
+* it maintains the list of **ready tasks** (all parent tasks complete);
+* when a task becomes ready, it resolves every monotask's input sizes from
+  the metadata store (sizes are known at ready time, §4.2.1), computes the
+  task's estimated per-resource usage and memory, and reports the task to
+  the scheduling layer for placement;
+* when the scheduler places a task on a worker, the JM sends the task's
+  source monotasks to that worker's queues, and as each monotask completes
+  it releases newly-ready intra-task monotasks *to the same worker*;
+* it updates the metadata store as partitions are produced, tracks task and
+  job completion, and maintains the SRJF remaining-work vector.
+
+The scheduling layer talks to the JM through the small
+:class:`SchedulerBackend` protocol, so Ursa's scheduler and the
+executor-model baselines can host the same execution layer (that is exactly
+how the paper simulates MonoSpark, §5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..cluster.cluster import Cluster
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Monotask, MonotaskState, Task, TaskState
+from .estimator import estimate_task_memory, estimate_task_usage
+from .job import Job, JobState
+from .jobprocess import JobProcess
+from .metadata import MetadataStore
+
+__all__ = ["JobManager", "SchedulerBackend"]
+
+
+class SchedulerBackend(Protocol):
+    """What a JM needs from the scheduling layer."""
+
+    def on_tasks_ready(self, jm: "JobManager", tasks: list[Task]) -> None:
+        """New ready tasks with estimates filled; schedule their placement."""
+
+    def enqueue_monotask(self, jm: "JobManager", mt: Monotask) -> None:
+        """Queue a ready monotask at its task's assigned worker."""
+
+    def on_job_complete(self, jm: "JobManager") -> None:
+        """All tasks of the job finished."""
+
+
+class JobManager:
+    """Coordinates the execution flow of one job."""
+
+    def __init__(
+        self,
+        sim,
+        cluster: Cluster,
+        job: Job,
+        backend: SchedulerBackend,
+        reserve_task_memory: bool = True,
+        reserve_cpu_cores: bool = True,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.job = job
+        self.backend = backend
+        self.metadata = MetadataStore()
+        # Ursa reserves memory per task and a core per CPU monotask; the
+        # executor-model baselines host the same execution layer but their
+        # *containers* hold the reservations instead (§5.1.2, Y+U).
+        self.reserve_task_memory = reserve_task_memory
+        self.reserve_cpu_cores = reserve_cpu_cores
+        self._jps: dict[int, JobProcess] = {}
+        self.ready_tasks: list[Task] = []
+
+        for handle in job.graph.datasets:
+            if handle.is_input:
+                self.metadata.load_inputs(handle)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Called at admission: surface the root tasks for placement."""
+        self.job.state = JobState.ADMITTED
+        self.job.admit_time = self.sim.now
+        if self.job.num_tasks == 0:
+            # a no-op graph (e.g. collect() on raw input data) is complete
+            # the moment it is admitted
+            self.job.state = JobState.DONE
+            self.job.finish_time = self.sim.now
+            self.backend.on_job_complete(self)
+            return
+        newly = []
+        for task in self.job.plan.tasks:
+            if task.remaining_parents == 0:
+                newly.append(task)
+        self._mark_ready(newly)
+
+    def _mark_ready(self, tasks: list[Task]) -> None:
+        if not tasks:
+            return
+        for task in tasks:
+            task.state = TaskState.READY
+            task.ready_at = self.sim.now
+            self._resolve_task_inputs(task)
+            self.ready_tasks.append(task)
+        # memory estimates depend on the full ready set (the ratio r)
+        ready_input_total = sum(t.input_size_mb() for t in self.ready_tasks)
+        for task in tasks:
+            estimate_task_usage(task)
+            task.est_mem_mb = estimate_task_memory(
+                task, self.job.requested_memory_mb, ready_input_total
+            )
+        self.backend.on_tasks_ready(self, tasks)
+
+    # ------------------------------------------------------------------
+    # input-size resolution (§4.2.1: sizes known when the task is ready)
+    # ------------------------------------------------------------------
+    def _resolve_task_inputs(self, task: Task) -> None:
+        order = self._intra_task_topo(task)
+        for mt in order:
+            if mt.rtype is ResourceType.NETWORK:
+                self._resolve_network(mt)
+            elif mt.rtype is ResourceType.DISK:
+                self._resolve_disk(mt)
+            else:
+                self._resolve_cpu(mt, task)
+
+    @staticmethod
+    def _intra_task_topo(task: Task) -> list[Monotask]:
+        indeg = {id(m): len(m.intra_task_parents) for m in task.monotasks}
+        frontier = [m for m in task.monotasks if indeg[id(m)] == 0]
+        order: list[Monotask] = []
+        while frontier:
+            m = frontier.pop()
+            order.append(m)
+            for c in m.children:
+                if c.task is task:
+                    indeg[id(c)] -= 1
+                    if indeg[id(c)] == 0:
+                        frontier.append(c)
+        assert len(order) == len(task.monotasks), "intra-task cycle"
+        return order
+
+    def _resolve_network(self, mt: Monotask) -> None:
+        op = mt.head_op
+        mt.sources = self.metadata.pull_sources(
+            op, mt.partition_index, self.cluster.num_machines
+        )
+        mt.input_size_mb = sum(size for _m, size in mt.sources)
+        mt.work_mb = mt.input_size_mb
+        mt.expected_out_mb = mt.input_size_mb
+
+    def _resolve_disk(self, mt: Monotask) -> None:
+        parents = mt.intra_task_parents
+        if parents:
+            # disk write: consumes the output of its (CPU) parent(s)
+            mt.input_size_mb = sum(p.expected_out_mb for p in parents)
+        else:
+            # disk read of job input partitions
+            mt.input_size_mb = sum(
+                self.metadata.size(h, mt.partition_index)
+                for h in mt.head_op.reads
+                if self.metadata.has(h, mt.partition_index)
+            )
+        mt.work_mb = mt.input_size_mb
+        mt.expected_out_mb = mt.input_size_mb
+
+    def _resolve_cpu(self, mt: Monotask, task: Task) -> None:
+        chain_created = {op.output.data_id for op in mt.ops if op.output is not None}
+        parent_outputs = {
+            op.output.data_id
+            for p in mt.intra_task_parents
+            for op in p.ops
+            if op.output is not None
+        }
+        external = sum(p.expected_out_mb for p in mt.intra_task_parents)
+        cached_locs: dict[int, float] = {}
+        for op in mt.ops:
+            for h in op.reads:
+                if h.data_id in chain_created or h.data_id in parent_outputs:
+                    continue
+                if self.metadata.has(h, mt.partition_index):
+                    rec = self.metadata.get(h, mt.partition_index)
+                    external += rec.size_mb
+                    if rec.location is not None:
+                        cached_locs[rec.location] = (
+                            cached_locs.get(rec.location, 0.0) + rec.size_mb
+                        )
+        mt.input_size_mb = external
+        # walk the fused chain to accumulate actual CPU work and expected
+        # output sizes (the usage *estimate* stays the input size)
+        size = external
+        work = 0.0
+        outputs: list = []
+        for op in mt.ops:
+            work += size * op.cpu_work_factor
+            if op.size_fn is not None:
+                size = op.size_fn(mt.partition_index, size)
+            if op.output is not None:
+                outputs.append((op.output, size))
+        mt.work_mb = work
+        mt.expected_out_mb = size
+        mt.chain_outputs = outputs
+        # reading resident partitions pins the task to their machine (§3
+        # Obj-3: "observing locality constraints")
+        if cached_locs and task.locality is None:
+            task.locality = max(cached_locs.items(), key=lambda kv: kv[1])[0]
+
+    # ------------------------------------------------------------------
+    # placement and execution
+    # ------------------------------------------------------------------
+    def place_task(self, task: Task, worker: int) -> None:
+        """The scheduler assigned ``task`` to ``worker``; reserve its memory
+        and send its source monotasks to the worker's queues."""
+        if task.state is not TaskState.READY:
+            raise RuntimeError(f"{task!r} is not ready for placement")
+        machine = self.cluster.machine(worker)
+        if self.reserve_task_memory:
+            machine.reserve_memory(task.est_mem_mb)
+        machine.use_memory(self._actual_memory(task))
+        task.state = TaskState.PLACED
+        task.worker = worker
+        task.placed_at = self.sim.now
+        self.ready_tasks.remove(task)
+        for mt in task.source_monotasks:
+            mt.state = MonotaskState.READY
+            self.backend.enqueue_monotask(self, mt)
+
+    def run_monotask(self, mt: Monotask, on_done) -> None:
+        """Called by the worker when resources are granted to ``mt``."""
+        task = mt.task
+        assert task is not None and task.worker is not None
+        jp = self._jps.get(task.worker)
+        if jp is None:
+            jp = JobProcess(self, self.cluster.machine(task.worker))
+            self._jps[task.worker] = jp
+        jp.run(mt, on_done)
+
+    # ------------------------------------------------------------------
+    # completion flow
+    # ------------------------------------------------------------------
+    def monotask_finished(self, mt: Monotask) -> None:
+        task = mt.task
+        assert task is not None
+        task.remaining_monotasks -= 1
+        self.job.decrement_remaining(mt.rtype, mt.input_size_mb)
+        if mt.rtype is ResourceType.CPU and mt.started_at is not None:
+            self.job.cpu_seconds_used += (mt.finished_at or self.sim.now) - mt.started_at
+
+        if task.remaining_monotasks > 0:
+            # release newly-ready intra-task monotasks to the same worker
+            for child in mt.children:
+                if child.task is task and child.state is MonotaskState.PENDING:
+                    if all(
+                        p.state is MonotaskState.DONE for p in child.intra_task_parents
+                    ):
+                        child.state = MonotaskState.READY
+                        self.backend.enqueue_monotask(self, child)
+            return
+
+        self._task_finished(task)
+
+    def _actual_memory(self, task: Task) -> float:
+        """True memory footprint: the estimate scaled by the job's accuracy
+        factor (users/estimators over-provision; UE_mem measures the gap)."""
+        return task.est_mem_mb * self.job.memory_accuracy
+
+    def _task_finished(self, task: Task) -> None:
+        task.state = TaskState.DONE
+        task.finished_at = self.sim.now
+        self.job.tasks_done += 1
+        assert task.worker is not None
+        machine = self.cluster.machine(task.worker)
+        if self.reserve_task_memory:
+            machine.release_memory(task.est_mem_mb)
+        machine.unuse_memory(self._actual_memory(task))
+
+        newly_ready: list[Task] = []
+        for child in task.children:
+            child.remaining_parents -= 1
+            if child.remaining_parents == 0:
+                newly_ready.append(child)
+        # task.children is a set (id-ordered): sort so ready order — and
+        # hence placement tie-breaking — is reproducible across runs
+        newly_ready.sort(key=lambda t: t.task_id)
+        self._mark_ready(newly_ready)
+
+        # optional backend hook (executor-model baselines free task slots)
+        notify = getattr(self.backend, "on_task_complete", None)
+        if notify is not None:
+            notify(self, task)
+
+        if self.job.tasks_done == self.job.num_tasks:
+            self.job.state = JobState.DONE
+            self.job.finish_time = self.sim.now
+            self.backend.on_job_complete(self)

@@ -1,0 +1,172 @@
+"""Job processes (JPs) — per-(job, worker) execution agents (§4.1.4).
+
+A JP runs monotasks on its worker's machine:
+
+* **CPU** — occupies one core (reserving it in the allocation ledger, which
+  is what makes Ursa's SE≈UE: the core is held exactly while it is driven),
+  runs the fused UDF chain on completion, and records outputs.
+* **Network** — opens a pull-based transfer from all sender machines at once
+  through the cluster fabric (§4.2.3).
+* **Disk** — submits the read/write to the machine's disk.
+
+The JP reports completion back to the JM, which "releases the resource to
+the worker when it completes a monotask".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..cluster.machine import Machine
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Monotask, MonotaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobmanager import JobManager
+
+__all__ = ["JobProcess"]
+
+DoneCallback = Callable[[Monotask], None]
+
+
+class JobProcess:
+    """Executes the monotasks of one job placed on one worker."""
+
+    def __init__(self, jm: "JobManager", machine: Machine):
+        self.jm = jm
+        self.machine = machine
+        self.running = 0
+
+    # ------------------------------------------------------------------
+    def run(self, mt: Monotask, on_done: DoneCallback) -> None:
+        if mt.state is not MonotaskState.QUEUED:
+            raise RuntimeError(f"{mt!r} must be queued before running (is {mt.state})")
+        mt.state = MonotaskState.RUNNING
+        mt.started_at = self.jm.sim.now
+        self.running += 1
+        if mt.rtype is ResourceType.CPU:
+            self._run_cpu(mt, on_done)
+        elif mt.rtype is ResourceType.NETWORK:
+            self._run_network(mt, on_done)
+        else:
+            self._run_disk(mt, on_done)
+
+    # ------------------------------------------------------------------
+    def _run_cpu(self, mt: Monotask, on_done: DoneCallback) -> None:
+        # Each CPU monotask uses exactly one core at full utilization until
+        # it completes (§4.2.1) — reserve it for the SE ledger.  Under the
+        # executor-model baselines the container already holds the cores.
+        if self.jm.reserve_cpu_cores:
+            self.machine.reserve_cores(1)
+        self.machine.cpu.submit(mt.work_mb, self._finish_cpu, mt, on_done)
+
+    def _finish_cpu(self, mt: Monotask, on_done: DoneCallback) -> None:
+        if self.jm.reserve_cpu_cores:
+            self.machine.release_cores(1)
+        real_outputs = self._execute_udf_chain(mt)
+        self._record_outputs(mt, real_outputs)
+        self._complete(mt, on_done)
+
+    def _execute_udf_chain(self, mt: Monotask) -> dict[int, Any]:
+        """Run the fused chain's UDFs on real payloads, if any input has one.
+
+        Returns data_id -> payload for every chain output that was actually
+        materialized; empty in size-only mode.
+        """
+        meta = self.jm.metadata
+        internal: dict[int, Any] = {}
+        produced: dict[int, Any] = {}
+        for op in mt.ops:
+            ins = []
+            for h in op.reads:
+                if h.data_id in internal:
+                    ins.append(internal[h.data_id])
+                elif meta.has(h, mt.partition_index):
+                    ins.append(meta.get(h, mt.partition_index).payload)
+                else:
+                    ins.append(None)
+            if op.udf is not None and any(x is not None for x in ins):
+                out = op.udf(ins, mt.partition_index)
+            else:
+                out = ins[0] if ins else None
+            if op.output is not None:
+                internal[op.output.data_id] = out
+                if out is not None:
+                    produced[op.output.data_id] = out
+        return produced
+
+    def _run_network(self, mt: Monotask, on_done: DoneCallback) -> None:
+        sources = mt.sources or []
+        self.jm.cluster.network.start_transfer(
+            self.machine.index, sources, self._finish_network, mt, on_done
+        )
+
+    def _finish_network(self, mt: Monotask, on_done: DoneCallback) -> None:
+        # Assemble the pulled partition (real payloads when present).
+        op = mt.head_op
+        out = op.output
+        if out is not None:
+            payload = self._gather_shards(mt)
+            size = mt.input_size_mb if payload is None else None
+            if payload is not None:
+                self.jm.metadata.record(out, mt.partition_index, 0.0, self.machine.index, payload)
+            else:
+                self.jm.metadata.record(out, mt.partition_index, size, self.machine.index)
+        self._complete(mt, on_done)
+
+    def _gather_shards(self, mt: Monotask) -> Any:
+        op = mt.head_op
+        items: list = []
+        real = False
+        for h in op.reads:
+            for i in range(h.num_partitions):
+                rec = self.jm.metadata.get(h, i)
+                shard = rec.shard_payload(mt.partition_index)
+                if shard is not None:
+                    real = True
+                    items.extend(shard)
+        return items if real else None
+
+    def _run_disk(self, mt: Monotask, on_done: DoneCallback) -> None:
+        self.machine.disk.submit(mt.work_mb, self._finish_disk, mt, on_done)
+
+    def _finish_disk(self, mt: Monotask, on_done: DoneCallback) -> None:
+        op = mt.head_op
+        out = op.output
+        if out is not None:
+            # disk read surfaces the input payload into memory; disk write
+            # records the final dataset at this worker
+            payload = None
+            for h in op.reads:
+                if self.jm.metadata.has(h, mt.partition_index):
+                    rec = self.jm.metadata.get(h, mt.partition_index)
+                    payload = rec.payload
+                    break
+            self.jm.metadata.record(
+                out, mt.partition_index, mt.expected_out_mb, self.machine.index, payload
+            )
+        self._complete(mt, on_done)
+
+    # ------------------------------------------------------------------
+    def _record_outputs(self, mt: Monotask, real_outputs: dict[int, Any]) -> None:
+        """Record chain outputs: real payloads where materialized, otherwise
+        the expected sizes computed when the task became ready."""
+        meta = self.jm.metadata
+        expected = dict(mt.chain_outputs or [])
+        for op in mt.ops:
+            handle = op.output
+            if handle is None:
+                continue
+            payload = real_outputs.get(handle.data_id)
+            if payload is not None:
+                meta.record(handle, mt.partition_index, 0.0, self.machine.index, payload)
+            else:
+                size = expected.get(handle, mt.expected_out_mb)
+                meta.record(handle, mt.partition_index, size, self.machine.index)
+
+    def _complete(self, mt: Monotask, on_done: DoneCallback) -> None:
+        self.running -= 1
+        mt.state = MonotaskState.DONE
+        mt.finished_at = self.jm.sim.now
+        self.jm.monotask_finished(mt)
+        on_done(mt)

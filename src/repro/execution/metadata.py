@@ -1,0 +1,152 @@
+"""Per-job metadata store and data store (§4.1.3 "Metadata", §4.1.4).
+
+The JM "maintains a metadata store that records the size and locality of each
+dataset partition"; JPs keep the actual data.  In the simulation both live in
+one :class:`MetadataStore` per job: every partition has a size and a
+location, and optionally a real payload when the job runs actual UDFs.
+
+Shuffle payloads: a CPU op feeding a shuffle produces *sharded* partitions —
+a dict mapping the consumer's output-partition index to the items bound for
+it.  ``shard_size`` returns the exact shard size for real payloads and a
+weighted split of the partition size otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..dataflow.graph import DataHandle, Op
+
+__all__ = ["PartitionRecord", "MetadataStore", "estimate_payload_mb", "DEFAULT_MB_PER_ELEMENT"]
+
+# Rough in-memory footprint of one deserialized record; only used to convert
+# real payload sizes into simulated MB (tests pin behaviour, not realism).
+DEFAULT_MB_PER_ELEMENT = 1e-4
+
+
+def estimate_payload_mb(payload: Any, mb_per_element: float = DEFAULT_MB_PER_ELEMENT) -> float:
+    """Estimate the MB footprint of a real partition payload."""
+    if payload is None:
+        return 0.0
+    if isinstance(payload, dict):
+        return sum(estimate_payload_mb(v, mb_per_element) for v in payload.values())
+    if isinstance(payload, (list, tuple, set)):
+        return max(len(payload) * mb_per_element, 0.0)
+    return mb_per_element
+
+
+class PartitionRecord:
+    """Size, location and (optional) payload of one dataset partition."""
+
+    __slots__ = ("size_mb", "location", "payload", "shard_sizes")
+
+    def __init__(
+        self,
+        size_mb: float,
+        location: Optional[int],
+        payload: Any = None,
+        shard_sizes: Optional[dict[int, float]] = None,
+    ):
+        self.size_mb = float(size_mb)
+        self.location = location   # machine index; None = external input (HDFS)
+        self.payload = payload
+        self.shard_sizes = shard_sizes
+
+    def shard_size(self, shard: int, num_shards: int, weights: Optional[list[float]]) -> float:
+        """Size of the ``shard``-th slice of this partition."""
+        if self.shard_sizes is not None:
+            return self.shard_sizes.get(shard, 0.0)
+        if weights is not None:
+            total_w = sum(weights)
+            return self.size_mb * weights[shard] / total_w
+        return self.size_mb / num_shards
+
+    def shard_payload(self, shard: int) -> Any:
+        if isinstance(self.payload, dict):
+            return self.payload.get(shard, [])
+        return None
+
+
+class MetadataStore:
+    """All partition records of one job, keyed by (data_id, partition)."""
+
+    def __init__(self, mb_per_element: float = DEFAULT_MB_PER_ELEMENT):
+        self._records: dict[tuple[int, int], PartitionRecord] = {}
+        self.mb_per_element = mb_per_element
+
+    # -- loading job inputs ---------------------------------------------
+    def load_inputs(self, handle: DataHandle) -> None:
+        assert handle.initial is not None
+        for i, (size_mb, payload) in enumerate(handle.initial):
+            shard_sizes = None
+            if isinstance(payload, dict):
+                shard_sizes = {
+                    k: estimate_payload_mb(v, self.mb_per_element)
+                    for k, v in payload.items()
+                }
+            self._records[(handle.data_id, i)] = PartitionRecord(
+                size_mb, None, payload, shard_sizes
+            )
+
+    # -- recording produced partitions ------------------------------------
+    def record(
+        self,
+        handle: DataHandle,
+        partition: int,
+        size_mb: float,
+        location: int,
+        payload: Any = None,
+    ) -> None:
+        shard_sizes = None
+        if payload is not None:
+            if isinstance(payload, dict):
+                shard_sizes = {
+                    k: estimate_payload_mb(v, self.mb_per_element)
+                    for k, v in payload.items()
+                }
+                size_mb = sum(shard_sizes.values())
+            else:
+                size_mb = estimate_payload_mb(payload, self.mb_per_element)
+        self._records[(handle.data_id, partition)] = PartitionRecord(
+            size_mb, location, payload, shard_sizes
+        )
+
+    # -- queries -----------------------------------------------------------
+    def has(self, handle: DataHandle, partition: int) -> bool:
+        return (handle.data_id, partition) in self._records
+
+    def get(self, handle: DataHandle, partition: int) -> PartitionRecord:
+        try:
+            return self._records[(handle.data_id, partition)]
+        except KeyError:
+            raise KeyError(
+                f"partition {partition} of dataset {handle.name!r} not recorded yet"
+            ) from None
+
+    def size(self, handle: DataHandle, partition: int) -> float:
+        return self.get(handle, partition).size_mb
+
+    def total_size(self, handle: DataHandle) -> float:
+        return sum(
+            self.size(handle, i) for i in range(handle.num_partitions) if self.has(handle, i)
+        )
+
+    def location(self, handle: DataHandle, partition: int) -> Optional[int]:
+        return self.get(handle, partition).location
+
+    def pull_sources(
+        self, net_op: Op, out_partition: int, num_machines: int
+    ) -> list[tuple[int, float]]:
+        """(machine, size) pairs a network monotask pulls for one output
+        partition: the matching shard of every partition of every read
+        dataset.  External-input partitions count as remote reads from a
+        round-robin 'HDFS' node."""
+        num_shards = net_op.parallelism
+        sources: list[tuple[int, float]] = []
+        for handle in net_op.reads:
+            for i in range(handle.num_partitions):
+                rec = self.get(handle, i)
+                size = rec.shard_size(out_partition, num_shards, net_op.shard_weights)
+                loc = rec.location if rec.location is not None else (i % num_machines)
+                sources.append((loc, size))
+        return sources

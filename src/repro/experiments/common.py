@@ -1,0 +1,144 @@
+"""Shared harness for all paper experiments.
+
+Every experiment builds systems by name, submits a generated workload, runs
+to completion, and reports :class:`~repro.metrics.accounting.SystemMetrics`
+(plus utilization traces for the figure experiments).
+
+Scales: the authors ran a 20×32-core testbed for ~an hour per workload; the
+default ``bench`` scale shrinks data sizes and job counts so every
+experiment finishes in seconds-to-minutes of wall time while keeping the
+cluster *contended* (that is what the comparisons are about).  ``paper``
+scale reproduces the §5 configuration (200 jobs, 5 s arrivals) for offline
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from ..baselines import (
+    CapacityPlacement,
+    MonoSparkApp,
+    TetrisPlacement,
+    YarnConfig,
+    YarnSystem,
+    spark_config,
+    tez_config,
+)
+from ..cluster import Cluster, ClusterSpec
+from ..metrics import SystemMetrics, compute_metrics
+from ..scheduler import UrsaConfig, UrsaSystem
+from ..workloads import JobSpec, submit_workload
+
+__all__ = ["Scale", "SCALES", "build_system", "run_experiment", "SYSTEM_NAMES", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that shrink an experiment without changing its structure."""
+
+    name: str
+    workload_scale: float      # multiplies data sizes
+    n_jobs: int                # job count for the big workloads
+    arrival_interval: float    # seconds between submissions
+    max_parallelism: int       # cap on stage width
+    partition_mb: float = 128.0  # task granularity (shrinks with the data so
+    cluster: ClusterSpec = field(default_factory=ClusterSpec.paper_cluster)
+    max_events: int = 200_000_000
+
+    def with_network(self, gbps: float) -> "Scale":
+        return replace(self, cluster=self.cluster.with_network(gbps))
+
+
+SCALES: dict[str, Scale] = {
+    # fast CI-grade runs; task granularity shrunk so stages stay wide enough
+    # to contend the (smaller) cluster, like the full-size workload does
+    "tiny": Scale(
+        "tiny", workload_scale=0.02, n_jobs=10, arrival_interval=0.6,
+        max_parallelism=128, partition_mb=12.0,
+        cluster=ClusterSpec(num_machines=4, machine=ClusterSpec.paper_cluster().machine),
+    ),
+    # benchmark default: 8 machines, moderate data, contended
+    "bench": Scale(
+        "bench", workload_scale=0.05, n_jobs=25, arrival_interval=1.0,
+        max_parallelism=400, partition_mb=16.0,
+        cluster=ClusterSpec(num_machines=8, machine=ClusterSpec.paper_cluster().machine),
+    ),
+    # the paper's configuration (slow: run offline)
+    "paper": Scale(
+        "paper", workload_scale=1.0, n_jobs=200, arrival_interval=5.0,
+        max_parallelism=4000, partition_mb=128.0,
+    ),
+}
+
+SYSTEM_NAMES = (
+    "ursa-ejf", "ursa-srjf", "y+s", "y+t", "y+u",
+    "tetris", "tetris2", "capacity",
+)
+
+
+def build_system(name: str, cluster: Cluster, **overrides):
+    """Instantiate a named system over a (fresh) cluster.
+
+    ``overrides`` are forwarded: ``subscription_ratio`` (baselines),
+    ``ursa_config`` (full UrsaConfig replacement), ``policy_weight`` etc.
+    """
+    ratio = overrides.pop("subscription_ratio", 1.0)
+    yarn = YarnConfig(cpu_subscription_ratio=ratio)
+    if name == "ursa-ejf":
+        cfg = overrides.pop("ursa_config", None) or UrsaConfig(policy="ejf", **overrides)
+        return UrsaSystem(cluster, cfg)
+    if name == "ursa-srjf":
+        cfg = overrides.pop("ursa_config", None) or UrsaConfig(policy="srjf", **overrides)
+        return UrsaSystem(cluster, cfg)
+    if name == "y+s":
+        return YarnSystem(cluster, spark_config(), yarn)
+    if name == "y+t":
+        return YarnSystem(cluster, tez_config(), yarn)
+    if name == "y+u":
+        return YarnSystem(cluster, spark_config(), yarn, app_class=MonoSparkApp)
+    if name == "tetris":
+        return UrsaSystem(cluster, UrsaConfig(placement=TetrisPlacement(), **overrides))
+    if name == "tetris2":
+        return UrsaSystem(
+            cluster, UrsaConfig(placement=TetrisPlacement(include_network=False), **overrides)
+        )
+    if name == "capacity":
+        return UrsaSystem(cluster, UrsaConfig(placement=CapacityPlacement(), **overrides))
+    raise ValueError(f"unknown system {name!r}; known: {SYSTEM_NAMES}")
+
+
+@dataclass
+class ExperimentResult:
+    """One system's run: metrics plus handles for trace post-processing."""
+
+    name: str
+    metrics: SystemMetrics
+    system: object
+
+    @property
+    def cluster(self) -> Cluster:
+        return self.system.cluster
+
+
+def run_experiment(
+    system_names: Sequence[str],
+    workload_fn: Callable[[Scale], list[tuple[JobSpec, float]]],
+    scale: Scale,
+    seed: int = 0,
+    overrides_fn: Optional[Callable[[str], dict]] = None,
+) -> dict[str, ExperimentResult]:
+    """Run the same (regenerated) workload through each named system."""
+    results: dict[str, ExperimentResult] = {}
+    for name in system_names:
+        cluster = Cluster(scale.cluster)
+        overrides = overrides_fn(name) if overrides_fn else {}
+        system = build_system(name, cluster, **overrides)
+        workload = workload_fn(scale)
+        submit_workload(system, workload, seed=seed)
+        system.run(max_events=scale.max_events)
+        if not system.all_done:
+            raise RuntimeError(f"{name}: workload did not finish")
+        results[name] = ExperimentResult(name, compute_metrics(system), system)
+    return results

@@ -1,0 +1,64 @@
+"""Figures 4 & 5 — cluster utilization traces for TPC-H and TPC-DS.
+
+The paper plots a 10-minute window of per-second CPU/MEM/NET utilization for
+each system: Ursa's CPU line is a near-flat plateau at ~100 % while Y+S and
+Y+T fluctuate heavily.  We regenerate the same series (resampled over the
+contended middle of the run) and summarize flatness as the coefficient of
+variation of the CPU series — Ursa's must be far lower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import format_table, multi_series_chart
+from .common import SCALES, ExperimentResult, Scale, run_experiment
+from .table2_tpch import workload as tpch_wl
+from .table3_tpcds import workload as tpcds_wl
+
+__all__ = ["run", "cpu_flatness"]
+
+
+def cpu_flatness(result: ExperimentResult, lo_frac=0.1, hi_frac=0.7, dt=1.0):
+    """(mean, coefficient of variation) of the CPU series over the busy
+    middle window of the run."""
+    end = result.system.makespan()
+    t0, t1 = lo_frac * end, hi_frac * end
+    _grid, cpu = result.cluster.utilization_timeseries("cpu_used", t0, t1, dt=dt)
+    arr = np.asarray(cpu)
+    mean = float(arr.mean())
+    cv = float(arr.std() / mean) if mean > 0 else 0.0
+    return mean, cv, cpu
+
+
+def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    out: dict = {}
+    for figure, systems, wl in (
+        ("Figure 4 (TPC-H)", ("ursa-ejf", "ursa-srjf", "y+s", "y+t"), tpch_wl),
+        ("Figure 5 (TPC-DS)", ("ursa-ejf", "ursa-srjf", "y+s"), tpcds_wl),
+    ):
+        results = run_experiment(systems, wl, sc, seed=seed)
+        rows = []
+        for name, res in results.items():
+            mean, cv, cpu = cpu_flatness(res)
+            end = res.system.makespan()
+            _g, net = res.cluster.utilization_timeseries("net_used", 0.1 * end, 0.7 * end, dt=1.0)
+            _g, mem = res.cluster.utilization_timeseries("mem_used", 0.1 * end, 0.7 * end, dt=1.0)
+            out[(figure, name)] = {
+                "result": res, "cpu_mean": mean, "cpu_cv": cv,
+                "series": {"cpu": cpu, "net": net, "mem": mem},
+            }
+            rows.append([name, mean, cv])
+            if show_charts:
+                print(f"\n{figure}: {name} (busy window, {sc.name} scale)")
+                print(multi_series_chart(
+                    {"[CPU]Totl%": cpu, "[NET]Recv%": net, "[MEM]Used%": mem}
+                ))
+        print()
+        print(format_table(["system", "mean CPU %", "CPU CoV"], rows, title=figure))
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run()

@@ -1,0 +1,118 @@
+"""Figures 8–10 — the expectable synthetic workload (§5.3).
+
+* Fig. 8: a single Type-1 / Type-2 job shows alternating CPU and network
+  phases.
+* Fig. 9 (Setting 1): 40 Type-1 jobs under EJF; actual JCTs must track the
+  ideal-case arithmetic (jobs run in overlapped pairs: 40, 48, 80, 88 … s at
+  paper scale), and cluster CPU stays pinned high.
+* Fig. 10 (Setting 2): 20 Type-1 + 20 Type-2 alternating, EJF and SRJF;
+  actual JCTs again track the per-policy expectations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..metrics import format_table, multi_series_chart
+from ..scheduler import UrsaConfig, UrsaSystem
+from ..workloads import (
+    SyntheticParams,
+    expected_jcts,
+    make_synthetic_job,
+    submit_workload,
+    synthetic_setting1,
+    synthetic_setting2,
+)
+from .common import SCALES, Scale
+
+__all__ = ["run_fig8", "run_fig9", "run_fig10", "params_for"]
+
+
+def params_for(sc: Scale, stage_seconds: float = 8.0) -> SyntheticParams:
+    m = sc.cluster.machine
+    return SyntheticParams(
+        total_cores=sc.cluster.total_cores,
+        core_rate_mbps=m.core_rate_mbps,
+        net_mbps_per_machine=m.net_mbps,
+        machines=sc.cluster.num_machines,
+        stage_seconds=stage_seconds,
+    )
+
+
+def _run(sc: Scale, workload, policy="ejf", weight=5.0):
+    # a high ordering weight enforces the policy strictly, as the ideal-case
+    # arithmetic of §5.3 assumes ("W indicates how much EJF should be
+    # enforced")
+    cluster = Cluster(sc.cluster)
+    system = UrsaSystem(cluster, UrsaConfig(policy=policy, policy_weight=weight))
+    jobs = submit_workload(system, workload, seed=1)
+    system.run(max_events=sc.max_events)
+    if not system.all_done:
+        raise RuntimeError("synthetic workload did not finish")
+    return system, jobs
+
+
+def run_fig8(scale: str | Scale = "bench", show_charts: bool = True) -> dict:
+    """Single Type-1 and Type-2 jobs: alternating CPU/network phases."""
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    params = params_for(sc)
+    out = {}
+    for jtype in (1, 2):
+        spec = make_synthetic_job(params, jtype, seed=0, name=f"type{jtype}")
+        system, jobs = _run(sc, [(spec, 0.0)])
+        end = jobs[0].jct
+        dt = max(end / 50, 0.25)
+        _g, cpu = system.cluster.utilization_timeseries("cpu_used", 0, end, dt=dt)
+        _g, net = system.cluster.utilization_timeseries("net_used", 0, end, dt=dt)
+        out[jtype] = {"jct": jobs[0].jct, "cpu": cpu, "net": net}
+        if show_charts:
+            print(f"\nFigure 8: single Type-{jtype} job (JCT {jobs[0].jct:.1f} s)")
+            print(multi_series_chart({"[CPU]Totl%": cpu, "[NET]Recv%": net}))
+    return out
+
+
+def run_fig9(scale: str | Scale = "bench", n_jobs: int = 12, show_charts: bool = True) -> dict:
+    """Setting 1: Type-1 jobs only, EJF; compare actual vs expected JCT."""
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    params = params_for(sc)
+    system, jobs = _run(sc, synthetic_setting1(params, n_jobs=n_jobs))
+    actual = [j.jct for j in jobs]
+    expect = expected_jcts(params, [1] * n_jobs)
+    end = system.makespan()
+    _g, cpu = system.cluster.utilization_timeseries("cpu_used", 0, end, dt=1.0)
+    rows = [[i, e, a, 100.0 * (a / e - 1.0)] for i, (e, a) in enumerate(zip(expect, actual))]
+    print(format_table(
+        ["job", "JCT_Expect", "JCT_Actual", "err %"], rows,
+        title=f"Figure 9a (Setting 1, {n_jobs} Type-1 jobs, scale={sc.name})",
+    ))
+    if show_charts:
+        print("\nFigure 9b: cluster CPU utilization")
+        print(multi_series_chart({"[CPU]Totl%": cpu}))
+    mean_cpu = float(np.mean(cpu[: max(1, int(len(cpu) * 0.8))]))
+    return {"actual": actual, "expected": expect, "cpu_series": cpu, "mean_cpu": mean_cpu}
+
+
+def run_fig10(scale: str | Scale = "bench", n_pairs: int = 6) -> dict:
+    """Setting 2: alternating Type-1/Type-2, under EJF and SRJF."""
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    params = params_for(sc)
+    out = {}
+    types = [1, 2] * n_pairs
+    for policy in ("ejf", "srjf"):
+        system, jobs = _run(sc, synthetic_setting2(params, n_pairs=n_pairs), policy=policy)
+        actual = [j.jct for j in jobs]
+        expect = expected_jcts(params, types, policy=policy)
+        out[policy] = {"actual": actual, "expected": expect, "types": types}
+        rows = [[i, e, a] for i, (e, a) in enumerate(zip(expect, actual))]
+        print(format_table(
+            ["job", "JCT_Expect", "JCT_Actual"], rows,
+            title=f"Figure 10 ({policy.upper()}, Setting 2, scale={sc.name})",
+        ))
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    run_fig8()
+    run_fig9()
+    run_fig10()

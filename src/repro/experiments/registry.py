@@ -1,0 +1,48 @@
+"""Index of every reproduced table/figure → its experiment entry point."""
+
+from __future__ import annotations
+
+from . import (
+    fig4_fig5_traces,
+    fig6_network,
+    fig7_stageaware,
+    fig8_fig9_fig10_synthetic,
+    table1_fig1_single_jobs,
+    table2_tpch,
+    table3_tpcds,
+    table4_mixed,
+    table5_oversub,
+    table6_ordering,
+)
+
+__all__ = ["EXPERIMENTS", "run_all"]
+
+EXPERIMENTS = {
+    "table1+fig1": table1_fig1_single_jobs.run,
+    "table2": table2_tpch.run,
+    "table3": table3_tpcds.run,
+    "table4": table4_mixed.run,
+    "table5": table5_oversub.run,
+    "table6": table6_ordering.run,
+    "fig4+fig5": fig4_fig5_traces.run,
+    "fig6": fig6_network.run,
+    "fig7+sec5.2": fig7_stageaware.run,
+    "fig8": fig8_fig9_fig10_synthetic.run_fig8,
+    "fig9": fig8_fig9_fig10_synthetic.run_fig9,
+    "fig10": fig8_fig9_fig10_synthetic.run_fig10,
+}
+
+
+def run_all(scale: str = "bench") -> dict:
+    """Regenerate every table and figure at the given scale."""
+    results = {}
+    for name, fn in EXPERIMENTS.items():
+        print(f"\n=== {name} ===")
+        results[name] = fn(scale)
+    return results
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    run_all(sys.argv[1] if len(sys.argv) > 1 else "bench")

@@ -1,0 +1,19 @@
+"""Metrics: SE/UE accounting, stragglers, ASCII charts, report tables."""
+
+from .accounting import SystemMetrics, compute_metrics
+from .asciichart import ascii_chart, multi_series_chart, sparkline
+from .report import format_metric_rows, format_table
+from .stragglers import job_straggler_ratio, mean_straggler_ratio, stage_straggler_time
+
+__all__ = [
+    "SystemMetrics",
+    "compute_metrics",
+    "ascii_chart",
+    "multi_series_chart",
+    "sparkline",
+    "format_metric_rows",
+    "format_table",
+    "job_straggler_ratio",
+    "mean_straggler_ratio",
+    "stage_straggler_time",
+]

@@ -1,0 +1,80 @@
+"""SE / UE / makespan / JCT accounting (§5 "Performance metrics").
+
+Definitions straight from the paper: with ``X`` the allocated core (or
+memory) time, ``Y`` the total capacity time (capacity × makespan) and ``Z``
+the actually-used time,
+
+    SE = X / Y          (scheduling efficiency)
+    UE = Z / X          (utilization efficiency)
+
+and the average cluster utilization rate equals SE × UE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SystemMetrics", "compute_metrics"]
+
+
+@dataclass
+class SystemMetrics:
+    """All the columns of Tables 2–4, for one system run."""
+
+    makespan: float
+    mean_jct: float
+    ue_cpu: float
+    se_cpu: float
+    ue_mem: float
+    se_mem: float
+    jcts: list[float]
+
+    @property
+    def cpu_utilization(self) -> float:
+        return self.se_cpu * self.ue_cpu
+
+    def row(self) -> dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "avg_jct": self.mean_jct,
+            "UE_cpu": 100.0 * self.ue_cpu,
+            "SE_cpu": 100.0 * self.se_cpu,
+            "UE_mem": 100.0 * self.ue_mem,
+            "SE_mem": 100.0 * self.se_mem,
+        }
+
+
+def compute_metrics(system) -> SystemMetrics:
+    """Compute the paper's metrics from a finished system run (Ursa or
+    baseline — both expose .cluster and .jobs)."""
+    cluster = system.cluster
+    jobs = system.jobs
+    if not jobs:
+        raise ValueError("no jobs were submitted")
+    unfinished = [j for j in jobs if j.finish_time is None]
+    if unfinished:
+        raise ValueError(f"{len(unfinished)} jobs have not finished")
+
+    start = min(j.submit_time for j in jobs)
+    end = max(j.finish_time for j in jobs)
+    makespan = end - start
+    if makespan <= 0:
+        raise ValueError("zero-length run")
+
+    cpu_alloc = cluster.integrate("cpu_alloc", start, end)
+    cpu_used = cluster.integrate("cpu_used", start, end)
+    mem_alloc = cluster.integrate("mem_alloc", start, end)
+    mem_used = cluster.integrate("mem_used", start, end)
+    cpu_capacity_time = cluster.total_cores * makespan
+    mem_capacity_time = cluster.total_memory_mb * makespan
+
+    jcts = [j.jct for j in jobs]
+    return SystemMetrics(
+        makespan=makespan,
+        mean_jct=sum(jcts) / len(jcts),
+        ue_cpu=cpu_used / cpu_alloc if cpu_alloc > 0 else 0.0,
+        se_cpu=cpu_alloc / cpu_capacity_time,
+        ue_mem=mem_used / mem_alloc if mem_alloc > 0 else 0.0,
+        se_mem=mem_alloc / mem_capacity_time,
+        jcts=jcts,
+    )

@@ -1,0 +1,65 @@
+"""Text rendering of time series (the utilization figures, sans matplotlib).
+
+The environment is offline and headless, so every figure in the paper is
+regenerated as (a) the raw resampled series (CSV-ready) and (b) an ASCII
+chart for eyeballing shapes — alternation, plateaus, crossovers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_chart", "multi_series_chart", "sparkline"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0, hi: float | None = None) -> str:
+    """One-line block-character rendering of a series."""
+    vals = list(values)
+    if not vals:
+        return ""
+    top = hi if hi is not None else max(vals)
+    span = max(top - lo, 1e-12)
+    out = []
+    for v in vals:
+        idx = int((min(max(v, lo), top) - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    values: Sequence[float],
+    height: int = 10,
+    lo: float = 0.0,
+    hi: float | None = None,
+    label: str = "",
+) -> str:
+    """Multi-row ASCII chart; rows are value bands from hi down to lo."""
+    vals = list(values)
+    if not vals:
+        return f"{label} (empty)"
+    top = hi if hi is not None else max(max(vals), lo + 1e-9)
+    span = max(top - lo, 1e-12)
+    rows = []
+    for row in range(height, 0, -1):
+        cutoff = lo + span * (row - 0.5) / height
+        line = "".join("█" if v >= cutoff else " " for v in vals)
+        axis = f"{lo + span * row / height:7.1f} |"
+        rows.append(axis + line)
+    rows.append(" " * 8 + "+" + "-" * len(vals))
+    if label:
+        rows.insert(0, label)
+    return "\n".join(rows)
+
+
+def multi_series_chart(
+    named_series: dict[str, Sequence[float]],
+    height: int = 8,
+    hi: float = 100.0,
+) -> str:
+    """Stack several labelled sparkline strips (one per resource)."""
+    out = []
+    for name, series in named_series.items():
+        out.append(f"{name:>12s} |{sparkline(series, 0.0, hi)}|")
+    return "\n".join(out)

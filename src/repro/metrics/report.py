@@ -1,0 +1,39 @@
+"""Table formatting for experiment output (the paper's Tables 1–6)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_metric_rows"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_metric_rows(results: dict[str, Any], title: str = "") -> str:
+    """results: system name -> SystemMetrics; renders a Table-2-style table."""
+    headers = ["system", "makespan", "avg_jct", "UE_cpu", "SE_cpu", "UE_mem", "SE_mem"]
+    rows = []
+    for name, metrics in results.items():
+        r = metrics.row()
+        rows.append([name] + [r[h] for h in headers[1:]])
+    return format_table(headers, rows, title)

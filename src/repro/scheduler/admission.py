@@ -1,0 +1,89 @@
+"""Memory-gated job admission (§4.2.2 "Job admission").
+
+"The scheduler admits the job if the cluster has sufficient memory, or
+otherwise puts the job in a queue.  This is to prevent memory deadlock ...
+memory is not actually allocated from workers at job admission, but reserved
+cluster-wise."
+
+The admission queue is ordered by the scheduling policy (earliest-first for
+EJF, smallest-remaining-first for SRJF).  Smaller jobs may bypass a job that
+does not fit, but to prevent the starvation of large-memory jobs (handled
+"similarly as in existing schedulers"), bypassing is disabled once the head
+job has waited longer than ``starvation_timeout``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..execution.job import Job
+from .ordering import SchedulingPolicy
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    def __init__(
+        self,
+        total_memory_mb: float,
+        policy: SchedulingPolicy,
+        starvation_timeout: float = 120.0,
+    ):
+        if total_memory_mb <= 0:
+            raise ValueError("total memory must be positive")
+        self.total_memory_mb = total_memory_mb
+        self.policy = policy
+        self.starvation_timeout = starvation_timeout
+        self.reserved_mb = 0.0
+        self.waiting: list[Job] = []
+        self._wait_since: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def available_mb(self) -> float:
+        return self.total_memory_mb - self.reserved_mb
+
+    def submit(self, job: Job, now: float) -> None:
+        if job.requested_memory_mb > self.total_memory_mb:
+            raise ValueError(
+                f"job {job.job_id} requests {job.requested_memory_mb:.0f} MB; "
+                f"the cluster only has {self.total_memory_mb:.0f} MB"
+            )
+        self.waiting.append(job)
+        self._wait_since[job.job_id] = now
+
+    def release(self, job: Job) -> None:
+        self.reserved_mb = max(0.0, self.reserved_mb - job.requested_memory_mb)
+
+    def admit_ready(self, now: float) -> list[Job]:
+        """Admit as many waiting jobs as memory allows, in policy order."""
+        admitted: list[Job] = []
+        self.waiting.sort(key=lambda j: (self.policy.job_rank(j, now), j.job_id))
+        head_blocked = False
+        remaining: list[Job] = []
+        for job in self.waiting:
+            if head_blocked and self._head_starving(now):
+                remaining.append(job)
+                continue
+            if job.requested_memory_mb <= self.available_mb + 1e-9:
+                self.reserved_mb += job.requested_memory_mb
+                admitted.append(job)
+                self._wait_since.pop(job.job_id, None)
+            else:
+                if not head_blocked:
+                    self._blocked_head = job
+                head_blocked = True
+                remaining.append(job)
+        self.waiting = remaining
+        return admitted
+
+    def _head_starving(self, now: float) -> bool:
+        head = getattr(self, "_blocked_head", None)
+        if head is None:
+            return False
+        waited = now - self._wait_since.get(head.job_id, now)
+        return waited > self.starvation_timeout
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.waiting)

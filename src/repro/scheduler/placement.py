@@ -1,0 +1,283 @@
+"""Task placement — Algorithm 1 (§4.2.2) and its ablation variants.
+
+Key quantities, named as in the paper:
+
+* ``APT_r(w)`` — approximate time for worker ``w`` to drain its assigned
+  type-r work (computed by the worker agents from measured processing
+  rates).
+* ``EPT`` — expected processing time per scheduling round; slightly larger
+  than the scheduling interval to absorb communication delay.
+* ``D_r(w) = max(0, (EPT − APT_r(w)) / EPT)`` — normalized headroom;
+  ``D_mem(w)`` is the free-memory fraction.
+* ``Inc_r(t, w)`` — the load increase on ``w`` if task ``t`` lands there:
+  estimated type-r usage ÷ w's type-r processing rate ÷ EPT (memory: the
+  estimated memory footprint ÷ capacity).
+* ``F(t, w) = Σ_r D_r(w) · Inc_r(t, w)`` with two guard rules: never place
+  where some ``D_r = 0`` while ``Inc_r > 0`` (execution would block on r),
+  and cap ``Inc_r`` at ``D_r`` (availability bounds the contribution).
+
+Whole stages are scored and placed together — a large ``stage_bonus`` makes
+fully-placeable stages win over partial plans, which avoids manufacturing
+stragglers that would block dependent stages (§5.2 ablates this).
+
+Implementation note: stage selection uses lazy re-evaluation on a max-heap.
+Within one placement round every commit can only *shrink* worker headroom,
+so stage scores are monotonically non-increasing; popping the stale maximum
+and re-scoring it fresh therefore selects exactly the stage Algorithm 1's
+quadratic loop would, at a fraction of the cost (the placement loop runs at
+every scheduling interval and dominated scheduler wall time before this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Stage, Task
+from .ordering import SchedulingPolicy
+from .worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..execution.jobmanager import JobManager
+
+__all__ = ["Assignment", "PlacementPolicy", "ReadyStage", "UrsaPlacement"]
+
+_FLUID = (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK)
+_CPU, _NET, _DISK = 0, 1, 2
+
+
+class Assignment:
+    """One placement decision: task → worker."""
+
+    __slots__ = ("jm", "task", "worker")
+
+    def __init__(self, jm: "JobManager", task: Task, worker: int):
+        self.jm = jm
+        self.task = task
+        self.worker = worker
+
+
+class ReadyStage:
+    """A stage with currently-ready tasks, as seen by the placement round."""
+
+    __slots__ = ("jm", "stage", "tasks")
+
+    def __init__(self, jm: "JobManager", stage: Stage, tasks: list[Task]):
+        self.jm = jm
+        self.stage = stage
+        self.tasks = tasks
+
+
+class PlacementPolicy:
+    """Interface implemented by Algorithm 1, Tetris, and Capacity."""
+
+    def place(
+        self,
+        ready: list[ReadyStage],
+        workers: Sequence[Worker],
+        now: float,
+        job_policy: SchedulingPolicy,
+    ) -> list[Assignment]:
+        raise NotImplementedError
+
+
+class _WorkerView:
+    """Tentative per-round view of one worker's headroom (tuple-indexed)."""
+
+    __slots__ = ("worker", "index", "d", "mem_available", "inv_rate_ept", "mem_capacity")
+
+    def __init__(self, worker: Worker, index: int, ept: float):
+        self.worker = worker
+        self.index = index
+        self.d = [
+            max(0.0, (ept - worker.apt(r)) / ept) for r in _FLUID
+        ]
+        self.mem_available = worker.available_memory_mb
+        self.mem_capacity = worker.memory_capacity_mb
+        rates = worker.processing_rates()
+        self.inv_rate_ept = tuple(1.0 / (max(r, 1e-9) * ept) for r in rates)
+
+    @property
+    def d_mem(self) -> float:
+        return self.mem_available / self.mem_capacity
+
+    def snapshot(self) -> tuple:
+        return (self.d[0], self.d[1], self.d[2], self.mem_available)
+
+    def restore(self, snap: tuple) -> None:
+        self.d[0], self.d[1], self.d[2], self.mem_available = snap
+
+
+def _task_usage(task: Task, ignore_network: bool) -> tuple[float, float, float]:
+    return (
+        task.est_cpu_mb,
+        0.0 if ignore_network else task.est_net_mb,
+        task.est_disk_mb,
+    )
+
+
+class UrsaPlacement(PlacementPolicy):
+    """Algorithm 1 with stage-awareness and job-ordering bonuses."""
+
+    def __init__(
+        self,
+        ept: float = 0.3,
+        stage_bonus: float = 1e6,
+        stage_aware: bool = True,
+        ignore_network: bool = False,
+    ):
+        if ept <= 0:
+            raise ValueError("EPT must be positive")
+        self.ept = ept
+        self.stage_bonus = stage_bonus
+        self.stage_aware = stage_aware
+        self.ignore_network = ignore_network
+
+    # ------------------------------------------------------------------
+    def place(self, ready, workers, now, job_policy) -> list[Assignment]:
+        views = [_WorkerView(w, i, self.ept) for i, w in enumerate(workers)]
+        if self.stage_aware:
+            return self._place_by_stage(ready, views, now, job_policy)
+        return self._place_by_task(ready, views, now, job_policy)
+
+    # ------------------------------------------------------------------
+    def _place_by_stage(self, ready, views, now, job_policy) -> list[Assignment]:
+        assignments: list[Assignment] = []
+        pending = [rs for rs in ready if rs.tasks]
+        # lazy-greedy max-heap of (-score, tiebreak, stage)
+        heap: list[tuple[float, int, ReadyStage]] = []
+        for seq, rs in enumerate(pending):
+            score, plan = self._stage_score_tentative(rs.tasks, views)
+            if not plan:
+                continue
+            score += job_policy.placement_bonus(rs.jm.job, now)
+            heapq.heappush(heap, (-score, seq, rs))
+        seq = len(pending)
+        while heap:
+            neg_stale, _sq, rs = heapq.heappop(heap)
+            if not rs.tasks:
+                continue
+            score, plan = self._stage_score_tentative(rs.tasks, views)
+            if not plan:
+                continue  # headroom only shrinks within a round: drop
+            score += job_policy.placement_bonus(rs.jm.job, now)
+            if heap and -heap[0][0] > score + 1e-12:
+                # stale top: push back with the fresh score and retry
+                seq += 1
+                heapq.heappush(heap, (-score, seq, rs))
+                continue
+            placed_ids = set()
+            for task, widx in plan:
+                self._commit(views[widx], task)
+                assignments.append(Assignment(rs.jm, task, widx))
+                placed_ids.add(task.task_id)
+            rs.tasks = [t for t in rs.tasks if t.task_id not in placed_ids]
+            if rs.tasks:
+                # the leftover was unplaceable with shrunken headroom; it
+                # stays ready for the next scheduling interval
+                continue
+        return assignments
+
+    def _place_by_task(self, ready, views, now, job_policy) -> list[Assignment]:
+        """Fig-7 ablation: greedily place single highest-score tasks."""
+        assignments: list[Assignment] = []
+        pool: list[tuple["JobManager", Task]] = [
+            (rs.jm, t) for rs in ready for t in rs.tasks
+        ]
+        while pool:
+            best = None
+            best_score = float("-inf")
+            for i, (jm, task) in enumerate(pool):
+                widx, score = self._best_worker(task, views)
+                if widx is None:
+                    continue
+                score += job_policy.placement_bonus(jm.job, now)
+                if score > best_score:
+                    best_score, best = score, (i, widx)
+            if best is None:
+                break
+            i, widx = best
+            jm, task = pool.pop(i)
+            self._commit(views[widx], task)
+            assignments.append(Assignment(jm, task, widx))
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Algorithm 1's StageScore (on a tentative copy of the views)
+    # ------------------------------------------------------------------
+    def _stage_score_tentative(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
+        snaps = [v.snapshot() for v in views]
+        result = self._stage_score(tasks, views)
+        for v, s in zip(views, snaps):
+            v.restore(s)
+        return result
+
+    def _stage_score(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
+        plan: list[tuple[Task, int]] = []
+        score = 0.0
+        stage_bonus = self.stage_bonus
+        for task in tasks:
+            widx, f = self._best_worker(task, views)
+            if widx is None:
+                stage_bonus = 0.0
+            else:
+                plan.append((task, widx))
+                self._commit(views[widx], task)
+                score += f
+        if not plan:
+            return (0.0, [])
+        return (score / len(plan) + stage_bonus, plan)
+
+    def _best_worker(self, task: Task, views) -> tuple[Optional[int], float]:
+        if task.locality is not None:
+            candidates = (views[task.locality],)
+        else:
+            candidates = views
+        usage = _task_usage(task, self.ignore_network)
+        best_view: Optional[_WorkerView] = None
+        best_f = float("-inf")
+        for view in candidates:
+            f = self._score(task, usage, view)
+            if f is not None and f > best_f:
+                best_f, best_view = f, view
+        if best_view is None:
+            return None, 0.0
+        return best_view.index, best_f
+
+    def _score(self, task: Task, usage, view: _WorkerView) -> Optional[float]:
+        mem = task.est_mem_mb
+        if mem > view.mem_available + 1e-9:
+            return None
+        d = view.d
+        inv = view.inv_rate_ept
+        f = 0.0
+        for r in (_CPU, _NET, _DISK):
+            u = usage[r]
+            if u <= 0.0:
+                continue
+            dr = d[r]
+            if dr <= 0.0:
+                # blocking rule: needed resource with zero headroom
+                return None
+            inc = u * inv[r]
+            if inc > dr:
+                inc = dr  # availability caps the contribution
+            f += dr * inc
+        d_mem = view.mem_available / view.mem_capacity
+        if mem > 0.0:
+            if d_mem <= 0.0:
+                return None
+            inc_mem = mem / view.mem_capacity
+            f += d_mem * min(inc_mem, d_mem)
+        return f
+
+    def _commit(self, view: _WorkerView, task: Task) -> None:
+        usage = _task_usage(task, self.ignore_network)
+        d = view.d
+        inv = view.inv_rate_ept
+        for r in (_CPU, _NET, _DISK):
+            if usage[r] > 0.0:
+                nd = d[r] - usage[r] * inv[r]
+                d[r] = nd if nd > 0.0 else 0.0
+        view.mem_available -= task.est_mem_mb

@@ -1,0 +1,87 @@
+"""Per-worker monotask queues with policy-aware ordering (§4.2.3).
+
+"Instead of FIFO, monotasks in each queue are ordered based on the
+scheduling policy and task dependency.  Among jobs, monotasks are ordered
+according to their job priorities (EJF or SRJF).  Within a job, CPU
+monotasks in the same stage are ordered in descending order of their input
+sizes so that larger tasks can start earlier ..., while network and disk
+monotasks in the same stage are ordered in ascending order of their input
+sizes to make their dependent monotasks ready earlier."
+
+Entries carry a sort key computed at enqueue time; :meth:`resort` recomputes
+keys (the scheduler calls it at batch boundaries so SRJF ranks stay fresh as
+remaining work drains).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Monotask
+from .ordering import SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..execution.jobmanager import JobManager
+
+__all__ = ["QueueEntry", "MonotaskQueue"]
+
+
+class QueueEntry:
+    __slots__ = ("key", "seq", "jm", "mt")
+
+    def __init__(self, key: tuple, seq: int, jm: "JobManager", mt: Monotask):
+        self.key = key
+        self.seq = seq
+        self.jm = jm
+        self.mt = mt
+
+    def __lt__(self, other: "QueueEntry") -> bool:
+        return (self.key, self.seq) < (other.key, other.seq)
+
+
+class MonotaskQueue:
+    """An ordered queue of monotasks of one resource type at one worker."""
+
+    def __init__(self, rtype: ResourceType):
+        self.rtype = rtype
+        self._heap: list[QueueEntry] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _key(self, policy: SchedulingPolicy, now: float, jm: "JobManager", mt: Monotask) -> tuple:
+        # larger CPU monotasks first (start long work early); smaller
+        # network/disk monotasks first (unblock dependents early)
+        if self.rtype is ResourceType.CPU:
+            intra = -mt.input_size_mb
+        else:
+            intra = mt.input_size_mb
+        return (policy.job_rank(jm.job, now), intra)
+
+    def push(self, policy: SchedulingPolicy, now: float, jm: "JobManager", mt: Monotask) -> None:
+        entry = QueueEntry(self._key(policy, now, jm, mt), self._seq, jm, mt)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Optional[QueueEntry]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[QueueEntry]:
+        return self._heap[0] if self._heap else None
+
+    def resort(self, policy: SchedulingPolicy, now: float) -> None:
+        """Recompute keys (SRJF ranks drift as remaining work drains)."""
+        for entry in self._heap:
+            entry.key = self._key(policy, now, entry.jm, entry.mt)
+        heapq.heapify(self._heap)
+
+    def queued_work_mb(self) -> float:
+        return sum(e.mt.input_size_mb for e in self._heap)
+
+    def __iter__(self) -> Iterator[QueueEntry]:  # pragma: no cover - debug
+        return iter(self._heap)

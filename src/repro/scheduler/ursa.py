@@ -1,0 +1,234 @@
+"""UrsaSystem — the integrated scheduling + execution framework (Figure 2).
+
+Wires together:
+
+* the **centralized scheduler**: memory-gated admission, batched Algorithm-1
+  task placement at a configurable scheduling interval, job-ordering policy
+  (EJF / SRJF);
+* the **workers**: distributed per-resource monotask queues with ordering
+  and concurrency control, processing-rate monitoring;
+* the **execution layer**: a JM per job (created round-robin with a small
+  launch delay) and JPs executing monotasks on the simulated machines.
+
+Usage::
+
+    cluster = Cluster(ClusterSpec.paper_cluster())
+    ursa = UrsaSystem(cluster, UrsaConfig(policy="srjf"))
+    for graph, mem, t in my_jobs:
+        ursa.submit(graph, requested_memory_mb=mem, at=t)
+    ursa.run()
+    print(ursa.makespan(), ursa.mean_jct())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..dataflow.graph import OpGraph
+from ..dataflow.monotask import Monotask, Task
+from ..execution.job import Job, JobState
+from ..execution.jobmanager import JobManager
+from .admission import AdmissionController
+from .ordering import EarliestJobFirst, SchedulingPolicy, SmallestRemainingJobFirst
+from .placement import Assignment, PlacementPolicy, ReadyStage, UrsaPlacement
+from .worker import Worker, WorkerConfig
+
+__all__ = ["UrsaConfig", "UrsaSystem"]
+
+
+@dataclass
+class UrsaConfig:
+    """Tunables of the scheduling layer."""
+
+    policy: str = "ejf"                  # "ejf" or "srjf"
+    policy_weight: float = 0.05          # W (how strongly to enforce ordering)
+    scheduling_interval: float = 0.25    # batch placement period (s)
+    ept_factor: float = 1.2              # EPT = interval * factor (§4.2.2)
+    jm_creation_delay: float = 0.05      # launching the JM process
+    stage_aware: bool = True             # Fig. 7 ablation switch
+    ignore_network: bool = False         # §5.2 ablation switch
+    job_ordering: bool = True            # Table 6: enforce policy at admission/placement
+    monotask_ordering: bool = True       # Table 6: enforce policy in worker queues
+    starvation_timeout: float = 120.0
+    worker: WorkerConfig = field(default_factory=WorkerConfig)
+    placement: Optional[PlacementPolicy] = None  # default: Algorithm 1
+
+    def build_policy(self) -> SchedulingPolicy:
+        if self.policy == "ejf":
+            return EarliestJobFirst(self.policy_weight)
+        if self.policy == "srjf":
+            return SmallestRemainingJobFirst(self.policy_weight)
+        raise ValueError(f"unknown policy {self.policy!r}")
+
+
+class _FifoPolicy(EarliestJobFirst):
+    """Used when job/monotask ordering is disabled (Table 6 ablations):
+    ranks by submission only and adds no placement bonus."""
+
+    name = "fifo"
+
+    def placement_bonus(self, job: Job, now: float) -> float:
+        return 0.0
+
+
+class UrsaSystem:
+    """The centralized scheduler plus its worker agents."""
+
+    def __init__(self, cluster: Cluster, config: UrsaConfig | None = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = config or UrsaConfig()
+
+        self.policy = self.config.build_policy()
+        # Table 6 ablations: JO controls admission+placement ordering, MO
+        # controls worker-queue ordering.
+        self._admission_policy = self.policy if self.config.job_ordering else _FifoPolicy(0.0)
+        self._queue_policy = self.policy if self.config.monotask_ordering else _FifoPolicy(0.0)
+
+        self.placement = self.config.placement or UrsaPlacement(
+            ept=self.config.scheduling_interval * self.config.ept_factor,
+            stage_aware=self.config.stage_aware,
+            ignore_network=self.config.ignore_network,
+        )
+        self.workers = [
+            Worker(cluster, i, self._queue_policy, self.config.worker)
+            for i in range(cluster.num_machines)
+        ]
+        self.admission = AdmissionController(
+            cluster.total_memory_mb, self._admission_policy, self.config.starvation_timeout
+        )
+
+        self.jobs: list[Job] = []
+        self.jms: dict[int, JobManager] = {}
+        self.active_jobs: set[int] = set()
+        self.completed_jobs: list[Job] = []
+        self._next_job_id = 0
+        self._rr_jm = 0
+        self._tick_scheduled = False
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: OpGraph,
+        requested_memory_mb: float,
+        at: Optional[float] = None,
+        category: str = "generic",
+    ) -> Job:
+        """Submit a job now (or at a future simulation time)."""
+        job = Job(
+            self._next_job_id,
+            graph,
+            submit_time=at if at is not None else self.sim.now,
+            requested_memory_mb=requested_memory_mb,
+            category=category,
+        )
+        self._next_job_id += 1
+        self.jobs.append(job)
+        if at is None or at <= self.sim.now:
+            self._arrive(job)
+        else:
+            self.sim.at(at, self._arrive, job)
+        return job
+
+    def _arrive(self, job: Job) -> None:
+        self.admission.submit(job, self.sim.now)
+        self._try_admit()
+        self._ensure_tick()
+
+    def _try_admit(self) -> None:
+        for job in self.admission.admit_ready(self.sim.now):
+            # JM launched on a round-robin worker (§4.1.3); model its startup
+            worker = self._rr_jm % self.cluster.num_machines
+            self._rr_jm += 1
+            del worker  # placement of the JM process itself is not simulated
+            self.sim.schedule(self.config.jm_creation_delay, self._start_jm, job)
+
+    def _start_jm(self, job: Job) -> None:
+        jm = JobManager(self.sim, self.cluster, job, self)
+        self.jms[job.job_id] = jm
+        self.active_jobs.add(job.job_id)
+        jm.start()
+
+    # ------------------------------------------------------------------
+    # SchedulerBackend protocol (called by JMs)
+    # ------------------------------------------------------------------
+    def on_tasks_ready(self, jm: JobManager, tasks: list[Task]) -> None:
+        # tasks wait (at most one interval) for the next placement batch
+        self._ensure_tick()
+
+    def enqueue_monotask(self, jm: JobManager, mt: Monotask) -> None:
+        assert mt.task is not None and mt.task.worker is not None
+        self.workers[mt.task.worker].enqueue(jm, mt)
+
+    def on_job_complete(self, jm: JobManager) -> None:
+        job = jm.job
+        self.active_jobs.discard(job.job_id)
+        self.completed_jobs.append(job)
+        self.admission.release(job)
+        self._try_admit()
+
+    # ------------------------------------------------------------------
+    # the scheduling loop
+    # ------------------------------------------------------------------
+    def _ensure_tick(self) -> None:
+        if not self._tick_scheduled:
+            self._tick_scheduled = True
+            self.sim.schedule(self.config.scheduling_interval, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        now = self.sim.now
+        active = [self.jms[j].job for j in self.active_jobs]
+        self.policy.refresh(active, now)
+        if self._queue_policy is not self.policy:
+            self._queue_policy.refresh(active, now)
+        for w in self.workers:
+            w.resort_queues()
+        assignments = self.placement.place(
+            self._ready_stages(), self.workers, now, self._admission_policy
+        )
+        for a in assignments:
+            self.workers[a.worker].add_assigned_task(a.task)
+            a.jm.place_task(a.task, a.worker)
+        if self.active_jobs or self.admission.queue_length:
+            self._ensure_tick()
+
+    def _ready_stages(self) -> list[ReadyStage]:
+        ready: list[ReadyStage] = []
+        for job_id in sorted(self.active_jobs):
+            jm = self.jms[job_id]
+            by_stage: dict[int, list[Task]] = {}
+            for task in jm.ready_tasks:
+                assert task.stage is not None
+                by_stage.setdefault(task.stage.stage_id, []).append(task)
+            for sid, tasks in sorted(by_stage.items()):
+                ready.append(ReadyStage(jm, tasks[0].stage, tasks))
+        return ready
+
+    # ------------------------------------------------------------------
+    # driving and reporting
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation until all submitted jobs finish (or ``until``)."""
+        if until is not None:
+            return self.sim.run(until=until, max_events=max_events)
+        return self.sim.drain() if max_events is None else self.sim.run(max_events=max_events)
+
+    @property
+    def all_done(self) -> bool:
+        return all(j.state is JobState.DONE for j in self.jobs)
+
+    def makespan(self) -> float:
+        if not self.jobs:
+            return 0.0
+        start = min(j.submit_time for j in self.jobs)
+        end = max(j.finish_time or self.sim.now for j in self.jobs)
+        return end - start
+
+    def mean_jct(self) -> float:
+        jcts = [j.jct for j in self.jobs if j.jct is not None]
+        return sum(jcts) / len(jcts) if jcts else 0.0

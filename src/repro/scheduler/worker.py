@@ -1,0 +1,218 @@
+"""Worker agents: distributed queue management (§4.2.3).
+
+Each worker owns one queue per resource type and performs the *actual*
+resource allocation: when a resource slot frees up, the highest-priority
+queued monotask starts immediately — no round-trip through the centralized
+scheduler, which is what keeps allocation latency low (Obj-4).
+
+Concurrency control follows the paper:
+
+* CPU — as many concurrent monotasks as cores;
+* disk — one monotask per disk (a single sequential stream already saturates
+  the spindle);
+* network — a small constant (1–4) per worker to avoid contention, with a
+  bypass lane for latency-sensitive small transfers (< 16 KB by default).
+
+The worker also monitors per-resource processing rates: ``rate_r = X/T``
+over a window of completed type-r monotasks (times the core count for CPU),
+which the scheduler uses to turn assigned work into
+``APT_r(w)`` — the approximate processing time to drain worker ``w``'s
+type-r backlog.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..cluster.cluster import Cluster
+from ..dataflow.graph import ResourceType
+from ..dataflow.monotask import Monotask, MonotaskState, Task
+from .ordering import SchedulingPolicy
+from .queues import MonotaskQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..execution.jobmanager import JobManager
+
+__all__ = ["WorkerConfig", "Worker"]
+
+_RES = (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK)
+
+
+class WorkerConfig:
+    """Tunables for worker-side queue management."""
+
+    def __init__(
+        self,
+        network_concurrency: int = 2,
+        small_network_mb: float = 16.0 / 1024.0,
+        rate_window: int = 50,
+    ):
+        if not 1 <= network_concurrency <= 16:
+            raise ValueError("network_concurrency out of range")
+        self.network_concurrency = network_concurrency
+        self.small_network_mb = small_network_mb
+        self.rate_window = rate_window
+
+
+class _RateMonitor:
+    """Sliding-window X/T processing-rate estimate, seeded with the nominal
+    hardware rate so cold workers still get sensible APTs.  Sums are kept
+    incrementally so reading the rate is O(1) (it is on the placement
+    algorithm's innermost path)."""
+
+    def __init__(self, nominal_rate: float, window: int):
+        self._samples: deque[tuple[float, float]] = deque()
+        self._window = window
+        # one nominal pseudo-sample anchors the estimate
+        self._x = nominal_rate * 1.0
+        self._t = 1.0
+        self.rate = self._x / self._t
+
+    def record(self, work_mb: float, duration_s: float) -> None:
+        if duration_s <= 1e-9 or work_mb <= 0:
+            return
+        self._samples.append((work_mb, duration_s))
+        self._x += work_mb
+        self._t += duration_s
+        if len(self._samples) > self._window:
+            old_x, old_t = self._samples.popleft()
+            self._x -= old_x
+            self._t -= old_t
+        self.rate = self._x / self._t
+
+
+class Worker:
+    """Queue management and resource allocation for one machine."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        index: int,
+        policy: SchedulingPolicy,
+        config: WorkerConfig | None = None,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.index = index
+        self.machine = cluster.machine(index)
+        self.policy = policy
+        self.config = config or WorkerConfig()
+
+        self.queues: dict[ResourceType, MonotaskQueue] = {
+            r: MonotaskQueue(r) for r in _RES
+        }
+        self.running: dict[ResourceType, int] = {r: 0 for r in _RES}
+        self.assigned_work: dict[ResourceType, float] = {r: 0.0 for r in _RES}
+        spec = self.machine.spec
+        self.rates: dict[ResourceType, _RateMonitor] = {
+            ResourceType.CPU: _RateMonitor(spec.core_rate_mbps, self.config.rate_window),
+            ResourceType.NETWORK: _RateMonitor(spec.net_mbps, self.config.rate_window),
+            ResourceType.DISK: _RateMonitor(spec.disk_mbps, self.config.rate_window),
+        }
+
+    # ------------------------------------------------------------------
+    # capacity limits (paper §4.2.3 "Concurrency control")
+    # ------------------------------------------------------------------
+    def _limit(self, rtype: ResourceType) -> int:
+        if rtype is ResourceType.CPU:
+            return self.machine.spec.cores
+        if rtype is ResourceType.NETWORK:
+            return self.config.network_concurrency
+        return self.machine.spec.disks
+
+    # ------------------------------------------------------------------
+    # load metrics consumed by Algorithm 1
+    # ------------------------------------------------------------------
+    def processing_rate(self, rtype: ResourceType) -> float:
+        """MB/s the worker processes type-r work at (X/T; ×cores for CPU)."""
+        rate = self.rates[rtype].rate
+        if rtype is ResourceType.CPU:
+            rate *= self.machine.spec.cores
+        return rate
+
+    def processing_rates(self) -> tuple[float, float, float]:
+        """(cpu, network, disk) rates as one tuple for the placement loop."""
+        return (
+            self.rates[ResourceType.CPU].rate * self.machine.spec.cores,
+            self.rates[ResourceType.NETWORK].rate,
+            self.rates[ResourceType.DISK].rate,
+        )
+
+    def apt(self, rtype: ResourceType) -> float:
+        """Approximate processing time to finish all assigned type-r work."""
+        if rtype is ResourceType.CPU and self.running[rtype] < self._limit(rtype):
+            # "if CPU in w is immediately available ... APT_cpu(w) = 0"
+            return 0.0
+        return self.assigned_work[rtype] / max(self.processing_rate(rtype), 1e-9)
+
+    @property
+    def available_memory_mb(self) -> float:
+        return self.machine.memory.available
+
+    @property
+    def memory_capacity_mb(self) -> float:
+        return self.machine.memory.capacity
+
+    # ------------------------------------------------------------------
+    # task assignment bookkeeping (from the centralized scheduler)
+    # ------------------------------------------------------------------
+    def add_assigned_task(self, task: Task) -> None:
+        for mt in task.monotasks:
+            self.assigned_work[mt.rtype] += mt.input_size_mb
+
+    # ------------------------------------------------------------------
+    # queue operations (called via the JM backend)
+    # ------------------------------------------------------------------
+    def enqueue(self, jm: "JobManager", mt: Monotask) -> None:
+        mt.state = MonotaskState.QUEUED
+        if (
+            mt.rtype is ResourceType.NETWORK
+            and mt.input_size_mb < self.config.small_network_mb
+        ):
+            # latency-sensitive small transfers bypass the queue (§4.2.3)
+            jm.run_monotask(mt, self._small_network_done)
+            return
+        self.queues[mt.rtype].push(self.policy, self.sim.now, jm, mt)
+        self._maybe_start(mt.rtype)
+
+    def resort_queues(self) -> None:
+        for q in self.queues.values():
+            q.resort(self.policy, self.sim.now)
+
+    def _maybe_start(self, rtype: ResourceType) -> None:
+        queue = self.queues[rtype]
+        limit = self._limit(rtype)
+        while self.running[rtype] < limit:
+            entry = queue.pop()
+            if entry is None:
+                return
+            self.running[rtype] += 1
+            entry.jm.run_monotask(entry.mt, self._monotask_done)
+
+    # ------------------------------------------------------------------
+    # completion callbacks
+    # ------------------------------------------------------------------
+    def _monotask_done(self, mt: Monotask) -> None:
+        rtype = mt.rtype
+        self.running[rtype] -= 1
+        self._account_completion(mt)
+        self._maybe_start(rtype)
+
+    def _small_network_done(self, mt: Monotask) -> None:
+        self._account_completion(mt)
+
+    def _account_completion(self, mt: Monotask) -> None:
+        self.assigned_work[mt.rtype] = max(
+            0.0, self.assigned_work[mt.rtype] - mt.input_size_mb
+        )
+        if mt.started_at is not None and mt.finished_at is not None:
+            self.rates[mt.rtype].record(mt.input_size_mb, mt.finished_at - mt.started_at)
+
+    # ------------------------------------------------------------------
+    @property
+    def queued_monotasks(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Worker({self.index}, queued={self.queued_monotasks})"

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (engine, fluid resources, fabrics)."""
+
+from .engine import EventHandle, Simulation, SimulationError
+from .network import MaxMinFabric, NetworkFabric, ReceiverSideFabric, Transfer
+from .resources import (
+    InsufficientMemoryError,
+    MemoryLedger,
+    ServiceRequest,
+    SharedProcessor,
+)
+from .rng import derive_rng, lognormal_multipliers, spawn_rng
+from .tracing import StepSeries, TraceSet
+
+__all__ = [
+    "EventHandle",
+    "Simulation",
+    "SimulationError",
+    "MaxMinFabric",
+    "NetworkFabric",
+    "ReceiverSideFabric",
+    "Transfer",
+    "InsufficientMemoryError",
+    "MemoryLedger",
+    "ServiceRequest",
+    "SharedProcessor",
+    "derive_rng",
+    "lognormal_multipliers",
+    "spawn_rng",
+    "StepSeries",
+    "TraceSet",
+]

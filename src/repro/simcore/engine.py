@@ -1,0 +1,213 @@
+"""Discrete-event simulation engine.
+
+The engine is the clock that every other subsystem in this reproduction runs
+on: the cluster substrate, the Ursa scheduler, the executor-model baselines,
+and the workload drivers all schedule callbacks here.
+
+Design points (see DESIGN.md §5):
+
+* Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+  increasing insertion counter.  Two events scheduled for the same instant
+  therefore fire in the order they were scheduled, which makes every
+  simulation run bit-for-bit deterministic.
+* Events are cancellable.  Cancellation is O(1): the handle is flagged and
+  skipped when popped (lazy deletion), which is the standard heapq idiom.
+* The engine never consults wall-clock time or global random state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["EventHandle", "Simulation", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulation engine."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are returned by :meth:`Simulation.schedule` and
+    :meth:`Simulation.at`.  Holding a handle does not keep the event alive in
+    any special way; it only allows cancellation and inspection.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """True once the event's callback has been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns True if it was still pending."""
+        if self.pending:
+            self._cancelled = True
+            # Drop references so cancelled events pinned in the heap do not
+            # keep large closures (and the object graphs they capture) alive.
+            self.callback = _noop
+            self.args = ()
+            return True
+        return False
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulation:
+    """A deterministic discrete-event simulation loop.
+
+    Typical use::
+
+        sim = Simulation()
+        sim.schedule(1.5, print, "hello at t=1.5")
+        sim.run()
+
+    The loop is re-entrant with respect to scheduling: callbacks may schedule
+    further events (including at the current instant, which fire later in the
+    same instant but after already-queued same-instant events).
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[EventHandle] = []
+        self._running = False
+        self._fired_count = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._fired_count
+
+    @property
+    def events_pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for ev in self._heap if ev.pending)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite (delay={delay!r})")
+        return self.at(self._now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time!r} < now={self._now!r})"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite (t={time!r})")
+        ev = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current instant (after queued
+        same-instant events)."""
+        return self.at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next pending event.  Returns False if none left."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = ev.time
+            ev._fired = True
+            self._fired_count += 1
+            ev.callback(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this time.  The clock is
+                advanced to ``until`` even if the queue drains earlier.
+            max_events: safety valve; raise if more events than this fire.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulation.run() is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def drain(self, max_events: int = 50_000_000) -> float:
+        """Run until the event queue is empty and return the final time."""
+        return self.run(until=None, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulation(now={self._now:.6f}, pending={self.events_pending})"

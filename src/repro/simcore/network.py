@@ -1,0 +1,295 @@
+"""Network fabric models.
+
+Two fabrics are provided:
+
+* :class:`ReceiverSideFabric` — the model Ursa itself uses (§4.2.3: "We use a
+  simple method that considers only the network bandwidth at the receiver
+  side").  A transfer (one network monotask's pull, streaming from all its
+  senders at once) shares the destination machine's downlink equally with the
+  other transfers arriving there.  Each receiver is an independent
+  :class:`~repro.simcore.resources.SharedProcessor`, so the model is both
+  faithful to the paper and O(local transfers) per state change.
+
+* :class:`MaxMinFabric` — an optional higher-fidelity model that performs
+  max-min fair (water-filling) allocation across *both* sender uplinks and
+  receiver downlinks.  Used by the ablation bench to show the receiver-side
+  simplification does not change who wins.
+
+Both expose the same ``start_transfer`` interface so the execution layers are
+fabric-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Sequence
+
+from .engine import EventHandle, Simulation
+from .resources import SharedProcessor
+from .tracing import StepSeries
+
+__all__ = ["Transfer", "ReceiverSideFabric", "MaxMinFabric", "NetworkFabric"]
+
+_EPS = 1e-9
+
+
+class Transfer:
+    """An in-flight pull of data to ``dst`` from one or more senders."""
+
+    __slots__ = (
+        "dst", "sources", "total_mb", "callback", "args",
+        "started_at", "finished_at", "cancelled",
+        "_service_req", "_flows",
+    )
+
+    def __init__(
+        self,
+        dst: int,
+        sources: Sequence[tuple[int, float]],
+        callback: Callable[..., Any],
+        args: tuple,
+        started_at: float,
+    ):
+        self.dst = dst
+        self.sources = list(sources)
+        self.total_mb = float(sum(size for _src, size in sources))
+        self.callback = callback
+        self.args = args
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+        self.cancelled = False
+        self._service_req = None   # ReceiverSideFabric bookkeeping
+        self._flows: list["_Flow"] = []  # MaxMinFabric bookkeeping
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+
+class NetworkFabric:
+    """Interface shared by both fabric implementations."""
+
+    def start_transfer(
+        self,
+        dst: int,
+        sources: Sequence[tuple[int, float]],
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> Transfer:
+        raise NotImplementedError
+
+    def cancel(self, transfer: Transfer) -> None:
+        raise NotImplementedError
+
+    def active_transfers(self, dst: int) -> int:
+        raise NotImplementedError
+
+
+class ReceiverSideFabric(NetworkFabric):
+    """Downlink-shared fabric (the paper's §4.2.3 model)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_machines: int,
+        downlink_mbps: float,
+        used_traces: Optional[list[StepSeries]] = None,
+    ):
+        if num_machines <= 0:
+            raise ValueError("need at least one machine")
+        if downlink_mbps <= 0:
+            raise ValueError("downlink bandwidth must be positive")
+        self.sim = sim
+        self.downlink_mbps = float(downlink_mbps)
+        self._rx: list[SharedProcessor] = []
+        for m in range(num_machines):
+            trace = used_traces[m] if used_traces is not None else None
+            self._rx.append(
+                SharedProcessor(
+                    sim,
+                    capacity=1.0,
+                    unit_rate=downlink_mbps,
+                    per_task_cap=1.0,
+                    used_trace=trace,
+                    name=f"net.rx[{m}]",
+                )
+            )
+
+    def start_transfer(self, dst, sources, callback, *args) -> Transfer:
+        tr = Transfer(dst, sources, callback, args, self.sim.now)
+        local = [s for s in tr.sources if s[0] == dst]
+        remote_mb = tr.total_mb - sum(size for _src, size in local)
+        # Local partitions cost no network time; only remote bytes traverse
+        # the downlink.
+        if remote_mb <= _EPS:
+            tr.finished_at = self.sim.now
+            self.sim.call_soon(callback, *args)
+            return tr
+        tr._service_req = self._rx[dst].submit(remote_mb, self._finish, tr)
+        return tr
+
+    def _finish(self, tr: Transfer) -> None:
+        if tr.cancelled:
+            return
+        tr.finished_at = self.sim.now
+        tr.callback(*tr.args)
+
+    def cancel(self, tr: Transfer) -> None:
+        if tr.done or tr.cancelled:
+            return
+        tr.cancelled = True
+        if tr._service_req is not None:
+            self._rx[tr.dst].cancel(tr._service_req)
+
+    def active_transfers(self, dst: int) -> int:
+        return self._rx[dst].active_count
+
+    def receive_rate(self, dst: int) -> float:
+        """Aggregate MB/s currently flowing into machine ``dst``."""
+        rx = self._rx[dst]
+        return rx.per_request_speed() * rx.active_count
+
+
+class _Flow:
+    __slots__ = ("src", "dst", "remaining", "rate", "transfer")
+
+    def __init__(self, src: int, dst: int, size: float, transfer: Transfer):
+        self.src = src
+        self.dst = dst
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.transfer = transfer
+
+
+class MaxMinFabric(NetworkFabric):
+    """Water-filling max-min fair fabric over uplinks and downlinks.
+
+    State changes trigger a full re-allocation, which is O(flows × machines)
+    in the worst case; acceptable for the ablation-scale runs it serves.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_machines: int,
+        downlink_mbps: float,
+        uplink_mbps: Optional[float] = None,
+        used_traces: Optional[list[StepSeries]] = None,
+    ):
+        self.sim = sim
+        self.n = num_machines
+        self.down = float(downlink_mbps)
+        self.up = float(uplink_mbps if uplink_mbps is not None else downlink_mbps)
+        self._flows: list[_Flow] = []
+        self._last_advance = 0.0
+        self._completion_ev: Optional[EventHandle] = None
+        self._used_traces = used_traces
+
+    # ------------------------------------------------------------------
+    def start_transfer(self, dst, sources, callback, *args) -> Transfer:
+        tr = Transfer(dst, sources, callback, args, self.sim.now)
+        self._advance()
+        for src, size in tr.sources:
+            if src == dst or size <= _EPS:
+                continue
+            flow = _Flow(src, dst, size, tr)
+            tr._flows.append(flow)
+            self._flows.append(flow)
+        if not tr._flows:
+            tr.finished_at = self.sim.now
+            self.sim.call_soon(callback, *args)
+            return tr
+        self._reallocate()
+        return tr
+
+    def cancel(self, tr: Transfer) -> None:
+        if tr.done or tr.cancelled:
+            return
+        tr.cancelled = True
+        self._advance()
+        self._flows = [f for f in self._flows if f.transfer is not tr]
+        self._reallocate()
+
+    def active_transfers(self, dst: int) -> int:
+        return len({id(f.transfer) for f in self._flows if f.dst == dst})
+
+    def receive_rate(self, dst: int) -> float:
+        return sum(f.rate for f in self._flows if f.dst == dst)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_advance
+        if dt > 0:
+            for f in self._flows:
+                f.remaining = max(0.0, f.remaining - f.rate * dt)
+        self._last_advance = now
+
+    def _reallocate(self) -> None:
+        # Progressive filling: repeatedly find the most-constrained port,
+        # freeze its flows at the fair share, remove the port, repeat.
+        unfixed = list(self._flows)
+        up_cap = [self.up] * self.n
+        down_cap = [self.down] * self.n
+        for f in unfixed:
+            f.rate = 0.0
+        while unfixed:
+            up_load: dict[int, int] = {}
+            down_load: dict[int, int] = {}
+            for f in unfixed:
+                up_load[f.src] = up_load.get(f.src, 0) + 1
+                down_load[f.dst] = down_load.get(f.dst, 0) + 1
+            best_share = math.inf
+            best_port: tuple[str, int] | None = None
+            for src, cnt in up_load.items():
+                share = up_cap[src] / cnt
+                if share < best_share:
+                    best_share, best_port = share, ("up", src)
+            for dst, cnt in down_load.items():
+                share = down_cap[dst] / cnt
+                if share < best_share:
+                    best_share, best_port = share, ("down", dst)
+            assert best_port is not None
+            kind, port = best_port
+            frozen = [
+                f for f in unfixed
+                if (kind == "up" and f.src == port) or (kind == "down" and f.dst == port)
+            ]
+            for f in frozen:
+                f.rate = best_share
+                up_cap[f.src] -= best_share
+                down_cap[f.dst] -= best_share
+            unfixed = [f for f in unfixed if f not in frozen]
+        if self._used_traces is not None:
+            for m in range(self.n):
+                self._used_traces[m].record(self.sim.now, self.receive_rate(m))
+        self._schedule_completion()
+
+    def _schedule_completion(self) -> None:
+        if self._completion_ev is not None:
+            self._completion_ev.cancel()
+            self._completion_ev = None
+        next_dt = math.inf
+        for f in self._flows:
+            if f.rate > _EPS:
+                next_dt = min(next_dt, f.remaining / f.rate)
+        if math.isfinite(next_dt):
+            self._completion_ev = self.sim.schedule(max(0.0, next_dt), self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_ev = None
+        self._advance()
+        still: list[_Flow] = []
+        finished_transfers: list[Transfer] = []
+        for f in self._flows:
+            if f.remaining <= _EPS:
+                f.transfer._flows.remove(f)
+                if not f.transfer._flows and not f.transfer.done:
+                    f.transfer.finished_at = self.sim.now
+                    finished_transfers.append(f.transfer)
+            else:
+                still.append(f)
+        self._flows = still
+        self._reallocate()
+        for tr in finished_transfers:
+            tr.callback(*tr.args)

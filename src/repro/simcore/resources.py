@@ -1,0 +1,240 @@
+"""Fluid resource models: processor-sharing service and memory ledgers.
+
+``SharedProcessor`` is the workhorse of the substrate.  It models a resource
+with ``capacity`` service units (e.g. 32 CPU cores, or 1 disk spindle) and a
+``unit_rate`` in MB/s per unit.  Active requests each occupy up to
+``per_task_cap`` units; when demand exceeds capacity every request slows down
+proportionally.  This is exactly the fluid-flow model under which:
+
+* a CPU monotask alone on an idle core runs at the core rate,
+* over-subscribed CPUs (baseline §5.1.2) degrade everyone fairly,
+* a single disk monotask gets the full disk bandwidth (paper §4.2.3), and
+* concurrent disk/network requests share bandwidth equally.
+
+Because every active request receives the *same* instantaneous speed, we can
+track completion with a cumulative-service counter instead of per-request
+bookkeeping: a request that arrives when the counter is ``C0`` finishes when
+the counter reaches ``C0 + work``.  Each state change costs O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from .engine import EventHandle, Simulation
+from .tracing import StepSeries
+
+__all__ = ["ServiceRequest", "SharedProcessor", "MemoryLedger", "InsufficientMemoryError"]
+
+_EPS = 1e-9
+
+
+class ServiceRequest:
+    """A unit of work in service at a :class:`SharedProcessor`."""
+
+    __slots__ = ("work", "callback", "args", "target_service", "cancelled", "done", "start_time")
+
+    def __init__(self, work: float, callback: Callable[..., Any], args: tuple, start_time: float):
+        self.work = work
+        self.callback = callback
+        self.args = args
+        self.target_service = 0.0  # set by the processor on admission
+        self.cancelled = False
+        self.done = False
+        self.start_time = start_time
+
+    @property
+    def active(self) -> bool:
+        return not (self.cancelled or self.done)
+
+
+class SharedProcessor:
+    """Equal-share fluid resource (CPU pool, disk, downlink)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity: float,
+        unit_rate: float,
+        per_task_cap: float = 1.0,
+        used_trace: Optional[StepSeries] = None,
+        name: str = "",
+    ):
+        if capacity <= 0 or unit_rate <= 0 or per_task_cap <= 0:
+            raise ValueError("capacity, unit_rate and per_task_cap must be positive")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.unit_rate = float(unit_rate)
+        self.per_task_cap = float(per_task_cap)
+        self.name = name
+        self.used_trace = used_trace
+
+        self._active: list[ServiceRequest] = []
+        self._heap: list[tuple[float, int, ServiceRequest]] = []
+        self._seq = 0
+        self._service = 0.0          # cumulative per-request service (MB)
+        self._service_time = 0.0     # sim time when _service was last updated
+        self._speed = 0.0            # current per-request speed (MB/s)
+        self._completion_ev: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def units_in_use(self) -> float:
+        """Service units currently driven (for utilization traces)."""
+        demand = len(self._active) * self.per_task_cap
+        return min(demand, self.capacity)
+
+    def per_request_speed(self) -> float:
+        """Current MB/s each active request receives."""
+        n = len(self._active)
+        if n == 0:
+            return 0.0
+        units = min(self.per_task_cap, self.capacity / n)
+        return units * self.unit_rate
+
+    # ------------------------------------------------------------------
+    def submit(self, work: float, callback: Callable[..., Any], *args: Any) -> ServiceRequest:
+        """Begin servicing ``work`` MB; run ``callback(*args)`` on completion.
+
+        Zero-size work completes via the event loop at the current instant so
+        callers always observe asynchronous completion.
+        """
+        if work < 0 or not math.isfinite(work):
+            raise ValueError(f"work must be a finite non-negative size, got {work!r}")
+        req = ServiceRequest(work, callback, args, self.sim.now)
+        if work <= _EPS:
+            req.done = True
+            self.sim.call_soon(callback, *args)
+            return req
+        self._advance()
+        req.target_service = self._service + work
+        self._active.append(req)
+        self._seq += 1
+        heapq.heappush(self._heap, (req.target_service, self._seq, req))
+        self._reallocate()
+        return req
+
+    def cancel(self, req: ServiceRequest) -> float:
+        """Abort a request; returns the amount of work left undone (MB)."""
+        if not req.active:
+            return 0.0
+        self._advance()
+        remaining = max(0.0, req.target_service - self._service)
+        req.cancelled = True
+        self._active.remove(req)
+        self._reallocate()
+        return remaining
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        now = self.sim.now
+        if now > self._service_time:
+            self._service += self._speed * (now - self._service_time)
+        self._service_time = now
+
+    def _reallocate(self) -> None:
+        self._speed = self.per_request_speed()
+        if self.used_trace is not None:
+            self.used_trace.record(self.sim.now, self.units_in_use)
+        if self._completion_ev is not None:
+            self._completion_ev.cancel()
+            self._completion_ev = None
+        # drop finished/cancelled heap entries
+        while self._heap and not self._heap[0][2].active:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return
+        target = self._heap[0][0]
+        delay = max(0.0, (target - self._service) / self._speed)
+        self._completion_ev = self.sim.schedule(delay, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_ev = None
+        self._advance()
+        finished: list[ServiceRequest] = []
+        while self._heap:
+            target, _seq, req = self._heap[0]
+            if not req.active:
+                heapq.heappop(self._heap)
+                continue
+            if target <= self._service + _EPS:
+                heapq.heappop(self._heap)
+                req.done = True
+                self._active.remove(req)
+                finished.append(req)
+            else:
+                break
+        self._reallocate()
+        for req in finished:
+            req.callback(*req.args)
+
+
+class InsufficientMemoryError(RuntimeError):
+    """Raised when a strict memory allocation cannot be satisfied."""
+
+
+class MemoryLedger:
+    """Simple reserve/release accounting for a machine's (or cluster's) RAM.
+
+    Memory has no service time in the paper's model — it is reserved for a
+    task/container's lifetime (§4.2.1: "memory usage is relatively stable
+    during the lifespan of a task") — so a counter with traces suffices.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity_mb: float,
+        used_trace: Optional[StepSeries] = None,
+        name: str = "",
+    ):
+        if capacity_mb <= 0:
+            raise ValueError("memory capacity must be positive")
+        self.sim = sim
+        self.capacity = float(capacity_mb)
+        self.used = 0.0
+        self.name = name
+        self.used_trace = used_trace
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+    def can_allocate(self, amount: float) -> bool:
+        return amount <= self.available + _EPS
+
+    def allocate(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot allocate negative memory")
+        if not self.can_allocate(amount):
+            raise InsufficientMemoryError(
+                f"{self.name or 'memory'}: need {amount:.1f} MB, "
+                f"only {self.available:.1f} of {self.capacity:.1f} MB free"
+            )
+        self.used += amount
+        if self.used_trace is not None:
+            self.used_trace.record(self.sim.now, self.used)
+
+    def try_allocate(self, amount: float) -> bool:
+        if not self.can_allocate(amount):
+            return False
+        self.allocate(amount)
+        return True
+
+    def release(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("cannot release negative memory")
+        if amount > self.used + _EPS:
+            raise ValueError(
+                f"{self.name or 'memory'}: releasing {amount:.1f} MB but only "
+                f"{self.used:.1f} MB is allocated"
+            )
+        self.used = max(0.0, self.used - amount)
+        if self.used_trace is not None:
+            self.used_trace.record(self.sim.now, self.used)

@@ -1,0 +1,39 @@
+"""Workload generators matching the paper's evaluation sets (§5)."""
+
+from .graphs import make_cc_job, make_pagerank_job
+from .ml import make_kmeans_job, make_lr_job
+from .mixed import mixed_workload, tpch2_workload
+from .runner import submit_workload
+from .spec import JobSpec, StageSpec
+from .synthetic import (
+    SyntheticParams,
+    expected_jcts,
+    make_synthetic_job,
+    synthetic_setting1,
+    synthetic_setting2,
+)
+from .tpch import DATASET_MIX, QUERY_TEMPLATES, make_tpch_job, tpch_workload
+from .tpcds import make_tpcds_job, tpcds_workload
+
+__all__ = [
+    "make_cc_job",
+    "make_pagerank_job",
+    "make_kmeans_job",
+    "make_lr_job",
+    "mixed_workload",
+    "tpch2_workload",
+    "submit_workload",
+    "JobSpec",
+    "StageSpec",
+    "SyntheticParams",
+    "expected_jcts",
+    "make_synthetic_job",
+    "synthetic_setting1",
+    "synthetic_setting2",
+    "DATASET_MIX",
+    "QUERY_TEMPLATES",
+    "make_tpch_job",
+    "tpch_workload",
+    "make_tpcds_job",
+    "tpcds_workload",
+]

@@ -1,0 +1,101 @@
+"""Graph-analytics job shapes (PageRank, connected components) — Figs 1c/1d.
+
+Iterative supersteps over a cached, partitioned graph: a CPU burst
+generating messages, a large shuffle (message volume ≈ edge data), and an
+apply step.  CC's message volume decays as labels converge; PR's stays flat
+— both patterns show the §2 CPU/network alternation at graph scale.
+"""
+
+from __future__ import annotations
+
+from ..simcore.rng import derive_rng
+from .spec import JobSpec, StageSpec
+
+__all__ = ["make_pagerank_job", "make_cc_job"]
+
+
+def _graph_job(
+    name: str,
+    graph_mb: float,
+    iterations: int,
+    parallelism: int,
+    msg_fraction_fn,
+    cpu_factor: float,
+    seed: int,
+) -> JobSpec:
+    rng = derive_rng(seed, "graphjob", name)
+    del rng  # shape is deterministic; kept for interface symmetry
+    stages: list[StageSpec] = [
+        StageSpec(  # load and partition the graph (cached)
+            parallelism=parallelism,
+            source_mb=graph_mb,
+            expand=1.0,
+            cpu_factor=0.4,
+            skew_sigma=0.4,   # power-law degree skew
+            m2i=1.3,
+        )
+    ]
+    prev_apply: int | None = None
+    for it in range(iterations):
+        gen = StageSpec(
+            parallelism=parallelism,
+            shuffle_parents=(),
+            narrow_parent=prev_apply if prev_apply is not None else 0,
+            reads_cache_of=0 if prev_apply is not None else None,
+            expand=msg_fraction_fn(it),   # messages per byte of state+graph
+            cpu_factor=cpu_factor,
+            skew_sigma=0.5,
+            m2i=1.4,
+        )
+        stages.append(gen)
+        apply = StageSpec(
+            parallelism=parallelism,
+            shuffle_parents=(len(stages) - 1,),
+            expand=0.08,                  # new vertex state is small
+            cpu_factor=1.0,
+            skew_sigma=0.4,
+            m2i=1.4,
+        )
+        stages.append(apply)
+        prev_apply = len(stages) - 1
+    return JobSpec(
+        name=name,
+        stages=stages,
+        requested_memory_mb=max(1024.0, graph_mb * 1.6),
+        memory_accuracy=0.85,
+        category="graph",
+        seed=seed,
+    )
+
+
+def make_pagerank_job(
+    graph_mb: float = 80_000.0,
+    iterations: int = 10,
+    parallelism: int = 600,
+    seed: int = 5,
+    name: str = "pr_webuk",
+) -> JobSpec:
+    """PageRank on a WebUK-sized graph: flat message volume per iteration."""
+    return _graph_job(
+        name, graph_mb, iterations, parallelism,
+        msg_fraction_fn=lambda it: 0.6,
+        cpu_factor=1.2,
+        seed=seed,
+    )
+
+
+def make_cc_job(
+    graph_mb: float = 60_000.0,
+    iterations: int = 8,
+    parallelism: int = 600,
+    seed: int = 6,
+    name: str = "cc_friendster",
+) -> JobSpec:
+    """Connected components on a Friendster-sized graph: message volume
+    decays geometrically as labels converge (Fig. 1c/1d tail-off)."""
+    return _graph_job(
+        name, graph_mb, iterations, parallelism,
+        msg_fraction_fn=lambda it: 0.7 * (0.65 ** it),
+        cpu_factor=0.9,
+        seed=seed,
+    )

@@ -1,0 +1,88 @@
+"""The Mixed workload (§5.1.2, Table 4) and TPC-H2 (§5.2).
+
+Mixed: 2 graph-analytics jobs (PR on WebUK, CC on Friendster), 4 ML jobs
+(k-means on mnist8m, LR on webspam ×2 each) and 32 random TPC-H queries,
+sized so TPC-H : ML : graph account for ≈ 70/20/10 % of total CPU usage.
+
+TPC-H2: 25 jobs with deeper DAGs (average depth ≈ 7.2) and heterogeneous,
+skewed tasks — the stress set used for the §5.2 ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simcore.rng import derive_rng
+from .graphs import make_cc_job, make_pagerank_job
+from .ml import make_kmeans_job, make_lr_job
+from .spec import JobSpec
+from .tpch import DEFAULT_PARTITION_MB, QUERY_TEMPLATES, make_tpch_job
+
+__all__ = ["mixed_workload", "tpch2_workload"]
+
+
+def mixed_workload(
+    seed: int = 13,
+    scale: float = 1.0,
+    parallelism: int = 600,
+    arrival_interval: float = 3.0,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> list[tuple[JobSpec, float]]:
+    """2 graph + 4 ML + 32 TPC-H jobs with a 70/20/10 CPU mix."""
+    rng = derive_rng(seed, "mixed")
+    par = max(4, int(parallelism * scale))
+    jobs: list[JobSpec] = []
+
+    # graph: ~10% of CPU
+    jobs.append(make_pagerank_job(graph_mb=80_000.0 * scale, parallelism=par, seed=seed + 1))
+    jobs.append(make_cc_job(graph_mb=60_000.0 * scale, parallelism=par, seed=seed + 2))
+    # ML: ~20% of CPU
+    jobs.append(make_lr_job(data_mb=24_000.0 * scale, parallelism=par, seed=seed + 3, name="lr_webspam_a"))
+    jobs.append(make_lr_job(data_mb=24_000.0 * scale, parallelism=par, seed=seed + 4, name="lr_webspam_b"))
+    jobs.append(make_kmeans_job(data_mb=20_000.0 * scale, parallelism=par, seed=seed + 5, name="kmeans_a"))
+    jobs.append(make_kmeans_job(data_mb=20_000.0 * scale, parallelism=par, seed=seed + 6, name="kmeans_b"))
+    # TPC-H: ~70% of CPU over 32 queries
+    for i in range(32):
+        query = int(rng.integers(1, 23))
+        jobs.append(
+            make_tpch_job(
+                query,
+                dataset_gb=float(rng.choice([200.0, 500.0])),
+                scale=scale,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                name=f"mixed_tpch{i}_q{query}",
+                max_parallelism=max_parallelism,
+                partition_mb=partition_mb,
+            )
+        )
+
+    order = rng.permutation(len(jobs))
+    return [(jobs[int(k)], float(i) * arrival_interval) for i, k in enumerate(order)]
+
+
+def tpch2_workload(
+    n_jobs: int = 25,
+    seed: int = 17,
+    scale: float = 1.0,
+    arrival_interval: float = 4.0,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> list[tuple[JobSpec, float]]:
+    """25 deep, skew-heavy TPC-H-style jobs (average depth ≈ 7.2)."""
+    rng = derive_rng(seed, "tpch2")
+    deep_queries = [q for q, (d, _s, _j, _k) in QUERY_TEMPLATES.items() if d >= 5]
+    out: list[tuple[JobSpec, float]] = []
+    for i in range(n_jobs):
+        query = int(rng.choice(np.array(deep_queries)))
+        job = make_tpch_job(
+            query,
+            dataset_gb=float(rng.choice(np.array([200.0, 500.0]))),
+            scale=scale,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            name=f"tpch2_{i}_q{query}",
+            max_parallelism=max_parallelism,
+            partition_mb=partition_mb,
+        )
+        out.append((job, i * arrival_interval))
+    return out

@@ -1,0 +1,109 @@
+"""Iterative machine-learning job shapes (LR, k-means) — Figs. 1a/1b.
+
+Each iteration is compute on cached data (CPU burst, pinned by locality to
+the machines holding the partitions) followed by a parameter shuffle
+(network burst): the "regular and frequent alternation of very high and low
+CPU utilization" of §2.  The parameter-exchange volume is a real knob —
+LR on webspam ships large dense gradients, so the network phase is visible.
+"""
+
+from __future__ import annotations
+
+from ..simcore.rng import derive_rng
+from .spec import JobSpec, StageSpec
+
+__all__ = ["make_lr_job", "make_kmeans_job"]
+
+
+def _iterative_job(
+    name: str,
+    category: str,
+    data_mb: float,
+    iterations: int,
+    parallelism: int,
+    cpu_factor: float,
+    param_fraction: float,
+    seed: int,
+    agg_parallelism: int | None = None,
+) -> JobSpec:
+    """Common shape: load+cache, then per iteration compute → all-reduce.
+
+    ``agg_parallelism=1`` models a driver-side reduce (Spark LR's serialized
+    aggregation — the reason its UE collapses to ~14% in Table 1: the
+    executors' cores idle while one thread merges gradients)."""
+    rng = derive_rng(seed, "iterative", name)
+    stages: list[StageSpec] = [
+        StageSpec(  # load training data into memory (cached thereafter)
+            parallelism=parallelism,
+            source_mb=data_mb,
+            expand=1.0,
+            cpu_factor=0.3,
+            skew_sigma=0.1,
+            m2i=1.2,
+        )
+    ]
+    if agg_parallelism is None:
+        agg_parallelism = max(1, parallelism // 8)
+    prev_agg: int | None = None
+    for it in range(iterations):
+        compute = StageSpec(
+            parallelism=parallelism,
+            # parameters from the previous all-reduce + the cached data
+            shuffle_parents=(prev_agg,) if prev_agg is not None else (),
+            narrow_parent=0 if prev_agg is None else None,
+            reads_cache_of=0 if prev_agg is not None else None,
+            expand=param_fraction,      # emits gradients/centroid updates
+            cpu_factor=cpu_factor,      # compute-heavy per input byte
+            skew_sigma=0.15,
+            m2i=1.1,
+        )
+        stages.append(compute)
+        agg = StageSpec(
+            parallelism=agg_parallelism,
+            shuffle_parents=(len(stages) - 1,),
+            expand=float(rng.uniform(0.8, 1.2)),  # merged params ≈ gradients
+            cpu_factor=0.8,
+            skew_sigma=0.1,
+            m2i=1.2,
+        )
+        stages.append(agg)
+        prev_agg = len(stages) - 1
+    return JobSpec(
+        name=name,
+        stages=stages,
+        requested_memory_mb=max(1024.0, data_mb * 1.4),
+        memory_accuracy=0.85,
+        category=category,
+        seed=seed,
+    )
+
+
+def make_lr_job(
+    data_mb: float = 24_000.0,
+    iterations: int = 10,
+    parallelism: int = 600,
+    seed: int = 3,
+    name: str = "lr_webspam",
+) -> JobSpec:
+    """Logistic regression on a webspam-sized dense dataset (Fig. 1b):
+    heavy per-byte compute, large dense gradients (≈15% of the data per
+    iteration) merged by a serial driver-side reduce."""
+    return _iterative_job(
+        name, "ml", data_mb, iterations, parallelism,
+        cpu_factor=2.5, param_fraction=0.15, seed=seed, agg_parallelism=1,
+    )
+
+
+def make_kmeans_job(
+    data_mb: float = 20_000.0,
+    iterations: int = 8,
+    parallelism: int = 600,
+    seed: int = 4,
+    name: str = "kmeans_mnist8m",
+) -> JobSpec:
+    """k-means on an mnist8m-sized dataset: lighter compute, tiny centroid
+    exchange."""
+    return _iterative_job(
+        name, "ml", data_mb, iterations, parallelism,
+        cpu_factor=1.6, param_fraction=0.03, seed=seed,
+    )

@@ -1,0 +1,33 @@
+"""Submitting JobSpec workloads to any system (Ursa or baseline)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..execution.job import Job
+from ..simcore.rng import derive_rng
+from .spec import JobSpec
+
+__all__ = ["submit_workload"]
+
+
+def submit_workload(system, workload: Sequence[tuple[JobSpec, float]], seed: int = 0) -> list[Job]:
+    """Build each JobSpec's graph (seeded) and submit at its arrival time.
+
+    Works with both :class:`~repro.scheduler.ursa.UrsaSystem` and
+    :class:`~repro.baselines.system.YarnSystem` — they expose the same
+    ``submit`` signature and host the same execution layer.
+    """
+    jobs: list[Job] = []
+    for i, (spec, at) in enumerate(workload):
+        rng = derive_rng(seed, "workload_build", i, spec.seed)
+        graph = spec.build_graph(rng)
+        job = system.submit(
+            graph,
+            requested_memory_mb=spec.requested_memory_mb,
+            at=at,
+            category=spec.category,
+        )
+        job.memory_accuracy = spec.memory_accuracy
+        jobs.append(job)
+    return jobs

@@ -1,0 +1,200 @@
+"""Size-only workload specifications and their OpGraph compiler.
+
+Experiments need jobs that are statistically shaped like the paper's
+workloads (TPC-H/TPC-DS queries, iterative ML, graph analytics) without
+materializing terabytes.  A :class:`JobSpec` is a DAG of
+:class:`StageSpec`s; ``build_graph`` compiles it into Ursa primitives with
+per-partition sizes drawn from seeded skew distributions.  The same graphs
+run unmodified on Ursa and on every baseline system (they all host the same
+execution layer).
+
+Stage knobs map to the §2 utilization patterns:
+
+* ``expand`` shapes intermediate-data growth/shrinkage (join fan-outs vs
+  filters) — the irregular fluctuations of Figs. 1e–1h;
+* ``cpu_factor`` decouples actual compute time from the input-size estimate
+  (the scheduler's processing-rate monitor absorbs the difference, §4.2.1);
+* ``skew_sigma`` skews both partition sizes and shuffle shard sizes;
+* ``reads_cache_of`` re-reads a resident dataset (iterative ML/graph jobs),
+  which pins tasks by locality and produces the regular CPU/network
+  alternation of Figs. 1a–1d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..dataflow.graph import DepType, GraphError, OpGraph, ResourceType
+from ..simcore.rng import lognormal_multipliers
+
+__all__ = ["StageSpec", "JobSpec"]
+
+
+@dataclass
+class StageSpec:
+    """One stage of a size-only job."""
+
+    parallelism: int
+    shuffle_parents: tuple[int, ...] = ()
+    narrow_parent: Optional[int] = None
+    reads_cache_of: Optional[int] = None
+    source_mb: float = 0.0           # > 0: stage reads this much job input
+    from_disk: bool = True           # source input arrives via disk monotasks
+    expand: float = 1.0              # stage output size = expand × input size
+    cpu_factor: float = 1.0          # actual CPU work vs input-size estimate
+    skew_sigma: float = 0.0
+    m2i: float = 1.5
+    write_output_mb: float = 0.0     # > 0: stage also writes final output
+
+    def __post_init__(self) -> None:
+        if self.parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        if self.expand <= 0 or self.cpu_factor <= 0:
+            raise ValueError("expand and cpu_factor must be positive")
+        if self.source_mb < 0 or self.write_output_mb < 0:
+            raise ValueError("sizes must be non-negative")
+
+
+@dataclass
+class JobSpec:
+    """A complete size-only job: stages + resource-request behaviour."""
+
+    name: str
+    stages: list[StageSpec]
+    requested_memory_mb: float
+    memory_accuracy: float = 0.8
+    category: str = "generic"
+    seed: int = 0
+
+    def validate(self) -> None:
+        for i, st in enumerate(self.stages):
+            for p in st.shuffle_parents:
+                if not 0 <= p < i:
+                    raise ValueError(f"stage {i}: bad shuffle parent {p}")
+            for ref in (st.narrow_parent, st.reads_cache_of):
+                if ref is not None:
+                    if not 0 <= ref < i:
+                        raise ValueError(f"stage {i}: bad stage reference {ref}")
+                    if self.stages[ref].parallelism != st.parallelism:
+                        raise ValueError(
+                            f"stage {i}: narrow/cache link to stage {ref} "
+                            f"requires equal parallelism"
+                        )
+            if st.source_mb == 0 and not st.shuffle_parents and st.narrow_parent is None \
+                    and st.reads_cache_of is None:
+                raise ValueError(f"stage {i} has no inputs")
+
+    # ------------------------------------------------------------------
+    def build_graph(self, rng: np.random.Generator) -> OpGraph:
+        """Compile to an OpGraph with per-partition skew drawn from ``rng``."""
+        self.validate()
+        g = OpGraph(self.name)
+        cpu_ops = []
+        out_handles = []
+
+        for i, st in enumerate(self.stages):
+            cpu_reads = []
+            cpu_parents = []  # (op, deptype)
+
+            if st.source_mb > 0:
+                weights = lognormal_multipliers(rng, st.parallelism, st.skew_sigma)
+                sizes = [st.source_mb / st.parallelism * w for w in weights]
+                src = g.create_data(st.parallelism, f"s{i}_input")
+                g.set_input(src, sizes)
+                if st.from_disk:
+                    loaded = g.create_data(st.parallelism, f"s{i}_loaded")
+                    disk = g.create_op(ResourceType.DISK, f"s{i}_read").read(src).create(loaded)
+                    cpu_reads.append(loaded)
+                    cpu_parents.append((disk, DepType.ASYNC))
+                else:
+                    cpu_reads.append(src)
+
+            for p in st.shuffle_parents:
+                shuffled = g.create_data(st.parallelism, f"s{i}_from{p}")
+                net = (
+                    g.create_op(ResourceType.NETWORK, f"s{i}_shuffle{p}")
+                    .read(out_handles[p])
+                    .create(shuffled)
+                )
+                if st.skew_sigma > 0:
+                    net.set_shard_weights(
+                        list(lognormal_multipliers(rng, st.parallelism, st.skew_sigma))
+                    )
+                cpu_ops[p].to(net, DepType.SYNC)
+                cpu_reads.append(shuffled)
+                cpu_parents.append((net, DepType.ASYNC))
+
+            if st.narrow_parent is not None:
+                cpu_reads.append(out_handles[st.narrow_parent])
+                cpu_parents.append((cpu_ops[st.narrow_parent], DepType.ASYNC))
+
+            if st.reads_cache_of is not None:
+                cpu_reads.append(out_handles[st.reads_cache_of])
+                # no edge: the cache producer is an ancestor via other paths;
+                # if it is not, fall back to a narrow dependency for safety
+                if not self._has_path(st.reads_cache_of, i):
+                    cpu_parents.append((cpu_ops[st.reads_cache_of], DepType.ASYNC))
+
+            out = g.create_data(st.parallelism, f"s{i}_out")
+            expand_w = lognormal_multipliers(rng, st.parallelism, st.skew_sigma)
+            cpu = (
+                g.create_op(ResourceType.CPU, f"s{i}_cpu")
+                .read(*cpu_reads)
+                .create(out)
+                .set_cpu_work_factor(st.cpu_factor)
+                .set_m2i(st.m2i)
+                .set_output_size(
+                    lambda idx, size, e=st.expand, w=expand_w: size * e * w[idx]
+                )
+            )
+            for op, dep in cpu_parents:
+                op.to(cpu, dep)
+            cpu_ops.append(cpu)
+            out_handles.append(out)
+
+            if st.write_output_mb > 0:
+                written = g.create_data(st.parallelism, f"s{i}_written")
+                wr = g.create_op(ResourceType.DISK, f"s{i}_write").read(out).create(written)
+                cpu.to(wr, DepType.ASYNC)
+
+        return g
+
+    def _has_path(self, src: int, dst: int) -> bool:
+        """Is stage ``src`` an ancestor of ``dst`` through declared deps?"""
+        frontier = [dst]
+        seen = set()
+        while frontier:
+            s = frontier.pop()
+            if s == src:
+                return True
+            if s in seen:
+                continue
+            seen.add(s)
+            st = self.stages[s]
+            frontier.extend(st.shuffle_parents)
+            if st.narrow_parent is not None:
+                frontier.append(st.narrow_parent)
+        return False
+
+    # ------------------------------------------------------------------
+    def total_source_mb(self) -> float:
+        return sum(st.source_mb for st in self.stages)
+
+    @property
+    def depth(self) -> int:
+        memo: dict[int, int] = {}
+
+        def d(i: int) -> int:
+            if i in memo:
+                return memo[i]
+            st = self.stages[i]
+            parents = list(st.shuffle_parents)
+            if st.narrow_parent is not None:
+                parents.append(st.narrow_parent)
+            memo[i] = 1 + max((d(p) for p in parents), default=0)
+            return memo[i]
+
+        return max(d(i) for i in range(len(self.stages)))

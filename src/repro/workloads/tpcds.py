@@ -1,0 +1,99 @@
+"""TPC-DS-shaped workload (§5.1.1, Table 3 / Figure 5).
+
+Same construction style as the TPC-H generator but with the properties the
+paper attributes to TPC-DS: much deeper DAGs (depth 5–43, mean ≈ 9),
+partitioned tables that produce *many small tasks* on small datasets, and
+stages whose parallelism alternates between high and low (the "3,367 →
+1,090 → 2,791 tasks" pattern that defeats Spark's dynamic allocation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simcore.rng import derive_rng
+from .spec import JobSpec, StageSpec
+from .tpch import DATASET_MIX, DEFAULT_PARTITION_MB, _parallelism
+
+__all__ = ["make_tpcds_job", "tpcds_workload"]
+
+
+def make_tpcds_job(
+    dataset_gb: float,
+    scale: float,
+    seed: int,
+    name: str,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> JobSpec:
+    rng = derive_rng(seed, "tpcds_job")
+    # depth 5..43, geometric-ish mass around 9 (the paper's mean)
+    depth = int(np.clip(5 + rng.geometric(0.22), 5, 43))
+    sel = float(rng.uniform(0.05, 0.35))
+    skew = float(rng.uniform(0.3, 0.9))
+    input_mb = dataset_gb * 1024.0 * sel * scale
+
+    stages: list[StageSpec] = [
+        StageSpec(
+            parallelism=_parallelism(input_mb, max_parallelism, partition_mb),
+            source_mb=input_mb,
+            expand=float(rng.uniform(0.3, 0.7)),
+            cpu_factor=float(rng.uniform(0.8, 1.4)),
+            skew_sigma=skew * 0.5,
+            m2i=2.0,
+        )
+    ]
+    size = input_mb * stages[0].expand
+    for level in range(depth - 1):
+        last = level == depth - 2
+        # alternating high/low parallelism: even levels re-partition wide,
+        # odd levels aggregate narrow — Spark's dynamic-allocation bane
+        wide = level % 2 == 0
+        par_mb = size * (1.6 if wide else 0.35)
+        expand = 0.05 if last else float(rng.uniform(0.5, 1.25) if wide else rng.uniform(0.2, 0.7))
+        stages.append(
+            StageSpec(
+                parallelism=_parallelism(par_mb, max_parallelism, partition_mb),
+                shuffle_parents=(len(stages) - 1,),
+                expand=expand,
+                cpu_factor=float(rng.uniform(0.9, 1.7)),
+                skew_sigma=skew,
+                m2i=1.5,
+                write_output_mb=size * 0.02 if last else 0.0,
+            )
+        )
+        size *= expand
+    return JobSpec(
+        name=name,
+        stages=stages,
+        requested_memory_mb=max(1024.0, input_mb * float(rng.uniform(0.8, 1.6))),
+        memory_accuracy=float(rng.uniform(0.7, 0.9)),
+        category="tpcds",
+        seed=seed,
+    )
+
+
+def tpcds_workload(
+    n_jobs: int = 200,
+    seed: int = 11,
+    scale: float = 1.0,
+    arrival_interval: float = 5.0,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> list[tuple[JobSpec, float]]:
+    rng = derive_rng(seed, "tpcds_workload")
+    sizes = np.array([s for s, _p in DATASET_MIX])
+    probs = np.array([p for _s, p in DATASET_MIX])
+    out: list[tuple[JobSpec, float]] = []
+    for i in range(n_jobs):
+        dataset_gb = float(rng.choice(sizes, p=probs))
+        job = make_tpcds_job(
+            dataset_gb,
+            scale,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            name=f"tpcds{i}",
+            max_parallelism=max_parallelism,
+            partition_mb=partition_mb,
+        )
+        out.append((job, i * arrival_interval))
+    return out

@@ -1,0 +1,184 @@
+"""TPC-H-shaped workload generator (§5 "Workloads").
+
+200 jobs, each a query template drawn uniformly from the 22 TPC-H queries,
+run against a 200 GB / 500 GB / 1 TB dataset with probability 60/30/10.
+Template DAG depths span 2–10; when executed individually job JCTs land in
+the paper's reported few-seconds-to-minutes range (scaled by ``scale``).
+
+Templates are parametric, not literal query plans: per query we fix the DAG
+depth, the input selectivity (how much of the dataset the query touches),
+per-stage expansion (join fan-out vs filter shrinkage) and skew — the knobs
+§2 identifies as the source of irregular utilization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simcore.rng import derive_rng
+from .spec import JobSpec, StageSpec
+
+__all__ = ["QUERY_TEMPLATES", "make_tpch_job", "tpch_workload", "DATASET_MIX"]
+
+# (depth, selectivity, join_heaviness, skew_sigma) per TPC-H query 1..22;
+# depths follow the paper's 2..10 range, join-heavy queries (5, 7, 8, 9, 21)
+# get deep DAGs and high skew (Q8 "has many joins and group-by", §2).
+QUERY_TEMPLATES: dict[int, tuple[int, float, float, float]] = {
+    1: (2, 0.45, 0.0, 0.2),
+    2: (5, 0.04, 0.6, 0.5),
+    3: (4, 0.25, 0.4, 0.4),
+    4: (3, 0.15, 0.3, 0.3),
+    5: (6, 0.20, 0.8, 0.5),
+    6: (2, 0.30, 0.0, 0.2),
+    7: (6, 0.18, 0.7, 0.6),
+    8: (8, 0.22, 0.9, 0.9),
+    9: (9, 0.30, 0.9, 0.8),
+    10: (4, 0.25, 0.5, 0.4),
+    11: (4, 0.05, 0.4, 0.4),
+    12: (3, 0.20, 0.3, 0.3),
+    13: (3, 0.18, 0.4, 0.5),
+    14: (3, 0.12, 0.3, 0.3),
+    15: (4, 0.10, 0.3, 0.3),
+    16: (4, 0.06, 0.4, 0.5),
+    17: (5, 0.08, 0.6, 0.6),
+    18: (5, 0.35, 0.6, 0.6),
+    19: (3, 0.10, 0.4, 0.4),
+    20: (5, 0.08, 0.5, 0.5),
+    21: (10, 0.25, 0.8, 0.7),
+    22: (3, 0.05, 0.3, 0.4),
+}
+
+# (dataset size in GB, probability) — §5.1: 60% 200 GB, 30% 500 GB, 10% 1 TB
+DATASET_MIX: list[tuple[float, float]] = [(200.0, 0.6), (500.0, 0.3), (1000.0, 0.1)]
+
+DEFAULT_PARTITION_MB = 128.0  # ≈5 s CPU tasks at the paper's core rate
+
+
+def _parallelism(input_mb: float, max_parallelism: int, partition_mb: float = DEFAULT_PARTITION_MB) -> int:
+    return int(np.clip(np.ceil(input_mb / partition_mb), 1, max_parallelism))
+
+
+def make_tpch_job(
+    query: int,
+    dataset_gb: float,
+    scale: float,
+    seed: int,
+    name: str | None = None,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> JobSpec:
+    """Build one query-shaped JobSpec.
+
+    ``partition_mb`` sets task granularity (the paper's ≈128 MB / ≈5 s
+    tasks); scaled-down runs shrink it too, so stage *widths* — and hence
+    cluster contention — match the full-size workload."""
+    if query not in QUERY_TEMPLATES:
+        raise ValueError(f"unknown TPC-H query {query}")
+    depth, sel, join_heavy, skew = QUERY_TEMPLATES[query]
+    rng = derive_rng(seed, "tpch_job", query)
+    input_mb = dataset_gb * 1024.0 * sel * scale
+
+    stages: list[StageSpec] = []
+    # scan stage(s): join-heavy queries scan two inputs
+    two_sources = join_heavy >= 0.5 and depth >= 4
+    scan_mb = input_mb * (0.6 if two_sources else 1.0)
+    stages.append(
+        StageSpec(
+            parallelism=_parallelism(scan_mb, max_parallelism, partition_mb),
+            source_mb=scan_mb,
+            expand=float(rng.uniform(0.3, 0.7)),  # scans filter/project
+            cpu_factor=float(rng.uniform(0.8, 1.3)),
+            skew_sigma=skew * 0.5,
+            m2i=2.0,
+        )
+    )
+    current = [0]  # frontier stages feeding the next level
+    size = scan_mb * stages[0].expand
+    if two_sources:
+        side_mb = input_mb * 0.4
+        stages.append(
+            StageSpec(
+                parallelism=_parallelism(side_mb, max_parallelism, partition_mb),
+                source_mb=side_mb,
+                expand=float(rng.uniform(0.3, 0.7)),
+                cpu_factor=float(rng.uniform(0.8, 1.3)),
+                skew_sigma=skew * 0.5,
+                m2i=2.0,
+            )
+        )
+        current.append(1)
+        size += side_mb * stages[1].expand
+
+    remaining_depth = depth - 1
+    for level in range(remaining_depth):
+        last = level == remaining_depth - 1
+        if len(current) == 2:
+            # join the two frontiers
+            expand = float(rng.uniform(0.8, 1.0 + join_heavy))
+            sel_join = float(rng.uniform(0.1, 0.6))
+            stage = StageSpec(
+                parallelism=_parallelism(size, max_parallelism, partition_mb),
+                shuffle_parents=tuple(current),
+                expand=expand,
+                cpu_factor=float(rng.uniform(1.0, 1.8)),
+                skew_sigma=skew,
+                m2i=1.0 + sel_join,
+            )
+        else:
+            # aggregation / re-partition step; final stages shrink hard
+            expand = 0.05 if last else float(rng.uniform(0.2, 0.9))
+            stage = StageSpec(
+                parallelism=max(
+                    1, _parallelism(size * (0.3 if last else 1.0), max_parallelism, partition_mb)
+                ),
+                shuffle_parents=tuple(current),
+                expand=expand,
+                cpu_factor=float(rng.uniform(0.9, 1.6)),
+                skew_sigma=skew * (0.6 if last else 1.0),
+                m2i=1.5,
+                write_output_mb=size * 0.02 if last else 0.0,
+            )
+        stages.append(stage)
+        size *= stage.expand
+        current = [len(stages) - 1]
+
+    total_in = sum(s.source_mb for s in stages)
+    return JobSpec(
+        name=name or f"tpch_q{query}",
+        stages=stages,
+        # users over-request memory (§2: "conservative when estimating peak")
+        requested_memory_mb=max(1024.0, total_in * float(rng.uniform(0.8, 1.6))),
+        memory_accuracy=float(rng.uniform(0.7, 0.9)),
+        category="tpch",
+        seed=seed,
+    )
+
+
+def tpch_workload(
+    n_jobs: int = 200,
+    seed: int = 7,
+    scale: float = 1.0,
+    arrival_interval: float = 5.0,
+    max_parallelism: int = 2000,
+    partition_mb: float = DEFAULT_PARTITION_MB,
+) -> list[tuple[JobSpec, float]]:
+    """The §5.1.1 TPC-H workload: (job, submit time) pairs, one every
+    ``arrival_interval`` seconds."""
+    rng = derive_rng(seed, "tpch_workload")
+    sizes = np.array([s for s, _p in DATASET_MIX])
+    probs = np.array([p for _s, p in DATASET_MIX])
+    out: list[tuple[JobSpec, float]] = []
+    for i in range(n_jobs):
+        query = int(rng.integers(1, 23))
+        dataset_gb = float(rng.choice(sizes, p=probs))
+        job = make_tpch_job(
+            query,
+            dataset_gb,
+            scale,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            name=f"tpch{i}_q{query}",
+            max_parallelism=max_parallelism,
+            partition_mb=partition_mb,
+        )
+        out.append((job, i * arrival_interval))
+    return out

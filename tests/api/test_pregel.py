@@ -1,0 +1,101 @@
+"""Tests for the vertex-centric API, checked against networkx oracles."""
+
+import networkx as nx
+import pytest
+
+from repro.api import (
+    UrsaContext,
+    connected_components_program,
+    pagerank_program,
+    run_pregel,
+    sssp_program,
+)
+from repro.cluster import ClusterSpec
+from repro.simcore import derive_rng
+
+
+def make_ctx():
+    return UrsaContext(ClusterSpec.small(num_machines=2, cores=4))
+
+
+def random_graph(n=24, p=0.15, seed=5, directed=False):
+    rng = derive_rng(seed, "graph")
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def test_connected_components_matches_networkx():
+    g = random_graph(n=24, p=0.08)
+    adj = {v: sorted(g.neighbors(v)) for v in g.nodes}
+    verts = {v: v for v in g.nodes}
+    out = run_pregel(make_ctx(), verts, adj, connected_components_program(), supersteps=24, partitions=3)
+    for comp in nx.connected_components(g):
+        labels = {out[v] for v in comp}
+        assert len(labels) == 1
+        assert labels == {min(comp)}
+
+
+def test_pagerank_close_to_networkx():
+    g = random_graph(n=20, p=0.2, seed=9, directed=True)
+    # ensure every node has an out-edge so mass is conserved similarly
+    for v in g.nodes:
+        if g.out_degree(v) == 0:
+            g.add_edge(v, (v + 1) % 20)
+    adj = {v: sorted(g.successors(v)) for v in g.nodes}
+    verts = {v: 1.0 for v in g.nodes}
+    ours = run_pregel(make_ctx(), verts, adj, pagerank_program(), supersteps=30, partitions=4)
+    ref = nx.pagerank(g, alpha=0.85, max_iter=200)
+    total = sum(ours.values())
+    ours_norm = {v: r / total for v, r in ours.items()}
+    for v in g.nodes:
+        assert ours_norm[v] == pytest.approx(ref[v], abs=0.02)
+    # ranking of the top nodes agrees
+    top_ours = max(ours, key=ours.get)
+    top_ref = max(ref, key=ref.get)
+    assert top_ours == top_ref
+
+
+def test_sssp_matches_networkx():
+    g = random_graph(n=20, p=0.15, seed=11)
+    adj = {v: sorted(g.neighbors(v)) for v in g.nodes}
+    verts = {v: (0.0 if v == 0 else float("inf")) for v in g.nodes}
+    out = run_pregel(make_ctx(), verts, adj, sssp_program(), supersteps=20, partitions=3)
+    ref = nx.single_source_shortest_path_length(g, 0)
+    for v in g.nodes:
+        if v in ref:
+            assert out[v] == pytest.approx(float(ref[v]))
+        else:
+            assert out[v] == float("inf")
+
+
+def test_pregel_requires_positive_supersteps():
+    from repro.api.pregel import build_pregel_graph
+
+    with pytest.raises(ValueError):
+        build_pregel_graph({0: 0}, {0: []}, connected_components_program(), 0, 1)
+
+
+def test_pregel_single_vertex_no_edges():
+    out = run_pregel(make_ctx(), {7: 7}, {7: []}, connected_components_program(), supersteps=2, partitions=1)
+    assert out == {7: 7}
+
+
+def test_pregel_tasks_are_locality_pinned():
+    """Iteration tasks must run where the vertex partitions live."""
+    ctx = make_ctx()
+    g = random_graph(n=16, p=0.2, seed=3)
+    adj = {v: sorted(g.neighbors(v)) for v in g.nodes}
+    verts = {v: v for v in g.nodes}
+    from repro.api.pregel import build_pregel_graph
+
+    graph, final = build_pregel_graph(verts, adj, connected_components_program(), 4, 2)
+    jm = ctx.run_graph(graph)
+    pinned = [t for t in jm.job.plan.tasks if t.locality is not None]
+    assert pinned
+    for t in pinned:
+        assert t.worker == t.locality

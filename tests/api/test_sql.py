@@ -1,0 +1,180 @@
+"""Tests for the mini SQL engine, checked against plain-Python references."""
+
+import pytest
+
+from repro.api import UrsaContext
+from repro.api.sql import (
+    AVG,
+    COUNT,
+    SUM,
+    Catalog,
+    SqlEngine,
+    SqlError,
+    generate_tpch_tables,
+    q1_pricing_summary,
+    q1_reference,
+    q3_reference,
+    q3_shipping_priority,
+    q6_forecast_revenue,
+    q6_reference,
+    q14_promo_effect,
+    q14_reference,
+)
+from repro.cluster import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch_tables(scale_rows=60)
+
+
+@pytest.fixture
+def catalog(tables):
+    ctx = UrsaContext(ClusterSpec.small(num_machines=2, cores=4))
+    cat = Catalog(ctx)
+    for name, rows in tables.items():
+        cat.register(name, rows)
+    return cat
+
+
+@pytest.fixture
+def engine(catalog):
+    return SqlEngine(catalog)
+
+
+def test_schema_generation_shape(tables):
+    assert len(tables["region"]) == 5
+    assert len(tables["nation"]) == 25
+    assert len(tables["orders"]) == 60
+    assert all(li["l_orderkey"] < 60 for li in tables["lineitem"])
+    # deterministic
+    again = generate_tpch_tables(scale_rows=60)
+    assert again["lineitem"] == tables["lineitem"]
+
+
+def test_catalog_register_and_lookup(catalog):
+    assert "lineitem" in catalog.tables()
+    assert "l_orderkey" in catalog.columns("lineitem")
+    with pytest.raises(KeyError):
+        catalog.relation("nope")
+    with pytest.raises(ValueError):
+        catalog.register("empty", [])
+
+
+def test_select_where(engine, tables):
+    rows = engine.sql("SELECT o_orderkey FROM orders WHERE o_orderstatus = 'F'")
+    ref = [o["o_orderkey"] for o in tables["orders"] if o["o_orderstatus"] == "F"]
+    assert sorted(r["o_orderkey"] for r in rows) == sorted(ref)
+
+
+def test_group_by_count(engine, tables):
+    rows = engine.sql(
+        "SELECT l_returnflag, count(*) AS n FROM lineitem GROUP BY l_returnflag"
+    )
+    ref: dict = {}
+    for r in tables["lineitem"]:
+        ref[r["l_returnflag"]] = ref.get(r["l_returnflag"], 0) + 1
+    assert {r["l_returnflag"]: r["n"] for r in rows} == ref
+
+
+def test_aggregate_without_group_by(engine, tables):
+    rows = engine.sql("SELECT sum(l_quantity) AS q, count(*) AS n FROM lineitem")
+    assert rows[0]["q"] == sum(r["l_quantity"] for r in tables["lineitem"])
+    assert rows[0]["n"] == len(tables["lineitem"])
+
+
+def test_join_via_sql(engine, tables):
+    rows = engine.sql(
+        "SELECT n_name, count(*) AS n FROM customer JOIN nation ON c_nationkey = n_nationkey "
+        "GROUP BY n_name"
+    )
+    ref: dict = {}
+    nation = {n["n_nationkey"]: n["n_name"] for n in tables["nation"]}
+    for c in tables["customer"]:
+        ref[nation[c["c_nationkey"]]] = ref.get(nation[c["c_nationkey"]], 0) + 1
+    assert {r["n_name"]: r["n"] for r in rows} == ref
+
+
+def test_order_by_and_limit(engine, tables):
+    rows = engine.sql("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 3")
+    ref = sorted(tables["orders"], key=lambda o: -o["o_totalprice"])[:3]
+    assert [r["o_orderkey"] for r in rows] == [o["o_orderkey"] for o in ref]
+
+
+def test_parser_errors():
+    ctx = UrsaContext(ClusterSpec.small(num_machines=1, cores=2))
+    cat = Catalog(ctx)
+    cat.register("t", [{"a": 1}])
+    eng = SqlEngine(cat)
+    with pytest.raises(SqlError):
+        eng.sql("DELETE FROM t")
+    with pytest.raises(SqlError):
+        eng.sql("SELECT a")  # no FROM
+    with pytest.raises(SqlError):
+        eng.sql("SELECT a, b FROM t GROUP BY a")  # b not aggregated
+    with pytest.raises(SqlError):
+        eng.sql("SELECT a FROM t WHERE a ~ 3")
+    with pytest.raises(SqlError):
+        eng.sql("SELECT a FROM t LIMIT many")
+
+
+def test_explain(engine):
+    text = engine.explain(
+        "SELECT l_returnflag, sum(l_quantity) FROM lineitem WHERE l_quantity > 5 "
+        "GROUP BY l_returnflag ORDER BY l_returnflag LIMIT 2"
+    )
+    assert "FROM lineitem" in text and "GROUP BY" in text and "LIMIT 2" in text
+
+
+# ----------------------------------------------------------------------
+# TPC-H query implementations vs references
+# ----------------------------------------------------------------------
+def test_q1_matches_reference(catalog, tables):
+    rows = q1_pricing_summary(catalog)
+    ref = q1_reference(tables)
+    assert len(rows) == len(ref)
+    for r in rows:
+        a = ref[(r["l_returnflag"], r["l_linestatus"])]
+        assert r["sum_qty"] == a["qty"]
+        assert r["sum_base_price"] == pytest.approx(a["base"])
+        assert r["sum_disc_price"] == pytest.approx(a["disc"])
+        assert r["count_order"] == a["n"]
+        assert r["avg_qty"] == pytest.approx(a["qty"] / a["n"])
+
+
+def test_q3_matches_reference(catalog, tables):
+    rows = q3_shipping_priority(catalog)
+    ref = q3_reference(tables)
+    expected = sorted(ref.items(), key=lambda kv: -kv[1])[: len(rows)]
+    assert [(r["o_orderkey"], pytest.approx(r["revenue"])) for r in rows] == [
+        (k, pytest.approx(v)) for k, v in expected
+    ]
+
+
+def test_q6_matches_reference(catalog, tables):
+    assert q6_forecast_revenue(catalog) == pytest.approx(q6_reference(tables))
+
+
+def test_q14_matches_reference(catalog, tables):
+    assert q14_promo_effect(catalog) == pytest.approx(q14_reference(tables))
+
+
+def test_relation_api_direct(catalog, tables):
+    rel = (
+        catalog.relation("lineitem")
+        .where(lambda r: r["l_quantity"] >= 25)
+        .group_by("l_linestatus")
+        .agg(COUNT(None, "n"), SUM("l_quantity", "q"), AVG("l_extendedprice", "p"))
+    )
+    rows = rel.rows()
+    ref: dict = {}
+    for r in tables["lineitem"]:
+        if r["l_quantity"] >= 25:
+            a = ref.setdefault(r["l_linestatus"], [0, 0, 0.0])
+            a[0] += 1
+            a[1] += r["l_quantity"]
+            a[2] += r["l_extendedprice"]
+    for row in rows:
+        n, q, p = ref[row["l_linestatus"]]
+        assert row["n"] == n and row["q"] == q
+        assert row["p"] == pytest.approx(p / n)

@@ -1,0 +1,94 @@
+"""Focused tests for the MonoSpark (Y+U) app's per-resource queues."""
+
+import pytest
+
+from repro.baselines import MonoSparkApp, YarnSystem, spark_config
+from repro.cluster import Cluster, ClusterSpec
+from repro.dataflow import DepType, OpGraph, ResourceType
+
+
+def shuffle_job(name="m", p=8, size=20.0):
+    g = OpGraph(name)
+    src = g.create_data(p)
+    g.set_input(src, [size] * p)
+    msg = g.create_data(p)
+    ser = g.create_op(ResourceType.CPU, "ser").read(src).create(msg)
+    sh = g.create_op(ResourceType.NETWORK, "sh").read(msg).create(g.create_data(p))
+    de = g.create_op(ResourceType.CPU, "de").read(sh.output).create(g.create_data(p))
+    ser.to(sh, DepType.SYNC)
+    sh.to(de, DepType.ASYNC)
+    return g
+
+
+def make_system():
+    cluster = Cluster(ClusterSpec.small(num_machines=2, cores=4, core_rate_mbps=10.0))
+    return YarnSystem(cluster, spark_config(container_memory_mb=1024.0), app_class=MonoSparkApp)
+
+
+def test_monospark_completes_and_spreads():
+    system = make_system()
+    job = system.submit(shuffle_job(), 2048.0)
+    system.run(max_events=500_000)
+    assert job.done
+    workers = {t.worker for t in job.plan.tasks}
+    assert len(workers) == 2
+
+
+def test_monospark_cpu_concurrency_capped_by_held_cores():
+    system = make_system()
+    job = system.submit(shuffle_job(p=16), 2048.0)
+    sim = system.cluster.sim
+    max_cpu = 0
+    while sim.step():
+        for m in system.cluster.machines:
+            max_cpu = max(max_cpu, m.cpu.active_count)
+    assert job.done
+    # never more CPU monotasks running than a machine's held container cores
+    assert max_cpu <= 4
+
+
+def test_monospark_network_concurrency_limit():
+    system = make_system()
+    app_holder = {}
+    orig_launch = system._launch_app
+
+    def launch(job):
+        orig_launch(job)
+        app_holder["app"] = system.apps[-1]
+
+    system._launch_app = launch
+    job = system.submit(shuffle_job(p=16), 2048.0)
+    sim = system.cluster.sim
+    max_net = 0
+    while sim.step():
+        app = app_holder.get("app")
+        if app is not None:
+            for mq in app._mq.values():
+                max_net = max(max_net, mq.running[ResourceType.NETWORK])
+    assert job.done
+    assert max_net <= MonoSparkApp.NETWORK_CONCURRENCY
+
+
+def test_monospark_slot_multiplier_overlaps_phases():
+    """Y+U admits 2x tasks per container so fetch overlaps compute; its JCT
+    on a shuffle job is never worse than plain Spark's by more than a hair."""
+    mono = make_system()
+    jm = mono.submit(shuffle_job("a"), 2048.0)
+    mono.run(max_events=500_000)
+
+    spark_cluster = Cluster(ClusterSpec.small(num_machines=2, cores=4, core_rate_mbps=10.0))
+    spark = YarnSystem(spark_cluster, spark_config(container_memory_mb=1024.0))
+    js = spark.submit(shuffle_job("b"), 2048.0)
+    spark.run(max_events=500_000)
+
+    assert jm.done and js.done
+    assert jm.jct <= js.jct * 1.2
+
+
+def test_monospark_releases_containers_after_job():
+    system = make_system()
+    system.submit(shuffle_job(), 2048.0)
+    system.run(max_events=500_000)
+    for m in system.cluster.machines:
+        assert m.allocated_cores == 0
+        assert m.memory.used == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,52 @@
+"""Shared helpers for execution-layer tests: a trivial greedy backend that
+places every ready task immediately (round-robin) and runs every monotask as
+soon as it is enqueued — no queueing discipline, no admission control.
+
+It exercises the full JM/JP machinery while keeping scheduling out of the
+picture; Ursa's real scheduler is tested separately in tests/scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cluster import Cluster
+from repro.dataflow.monotask import MonotaskState
+from repro.execution import Job, JobManager
+
+
+class GreedyBackend:
+    """Minimal SchedulerBackend: immediate round-robin placement."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._rr = itertools.cycle(range(cluster.num_machines))
+        self.completed_jobs: list[Job] = []
+        self.enqueued = 0
+
+    def on_tasks_ready(self, jm: JobManager, tasks) -> None:
+        for task in tasks:
+            worker = task.locality if task.locality is not None else next(self._rr)
+            jm.place_task(task, worker)
+
+    def enqueue_monotask(self, jm: JobManager, mt) -> None:
+        self.enqueued += 1
+        mt.state = MonotaskState.QUEUED
+        jm.run_monotask(mt, lambda _mt: None)
+
+    def on_job_complete(self, jm: JobManager) -> None:
+        self.completed_jobs.append(jm.job)
+
+
+def run_job(graph, cluster: Cluster | None = None, requested_memory_mb: float = 1024.0):
+    """Plan, run to completion, and return (job, jm, cluster, backend)."""
+    if cluster is None:
+        from repro.cluster import ClusterSpec
+
+        cluster = Cluster(ClusterSpec.small(num_machines=4, cores=4, core_rate_mbps=10.0))
+    backend = GreedyBackend(cluster)
+    job = Job(0, graph, submit_time=cluster.sim.now, requested_memory_mb=requested_memory_mb)
+    jm = JobManager(cluster.sim, cluster, job, backend)
+    jm.start()
+    cluster.sim.drain()
+    return job, jm, cluster, backend

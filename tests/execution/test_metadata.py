@@ -1,0 +1,102 @@
+"""Tests for the metadata/data store."""
+
+import pytest
+
+from repro.dataflow import OpGraph, ResourceType
+from repro.execution import MetadataStore, estimate_payload_mb
+
+
+def test_estimate_payload_mb():
+    assert estimate_payload_mb(None) == 0.0
+    assert estimate_payload_mb([1, 2, 3], mb_per_element=0.5) == 1.5
+    assert estimate_payload_mb({0: [1, 2], 1: [3]}, mb_per_element=1.0) == 3.0
+    assert estimate_payload_mb((1, 2), mb_per_element=2.0) == 4.0
+    assert estimate_payload_mb(42, mb_per_element=0.1) == 0.1
+
+
+def test_load_inputs_and_queries():
+    g = OpGraph()
+    d = g.create_data(3, "in")
+    g.set_input(d, [10.0, 20.0, 30.0])
+    meta = MetadataStore()
+    meta.load_inputs(d)
+    assert meta.size(d, 0) == 10.0
+    assert meta.total_size(d) == 60.0
+    assert meta.location(d, 1) is None
+    assert meta.has(d, 2)
+
+
+def test_get_missing_partition_raises():
+    g = OpGraph()
+    d = g.create_data(2, "x")
+    meta = MetadataStore()
+    with pytest.raises(KeyError):
+        meta.get(d, 0)
+
+
+def test_record_size_only():
+    g = OpGraph()
+    d = g.create_data(2)
+    meta = MetadataStore()
+    meta.record(d, 0, 12.5, location=3)
+    rec = meta.get(d, 0)
+    assert rec.size_mb == 12.5
+    assert rec.location == 3
+    assert rec.payload is None
+
+
+def test_record_list_payload_sets_size():
+    g = OpGraph()
+    d = g.create_data(1)
+    meta = MetadataStore(mb_per_element=0.5)
+    meta.record(d, 0, 0.0, location=1, payload=[1, 2, 3, 4])
+    assert meta.size(d, 0) == 2.0
+    assert meta.get(d, 0).payload == [1, 2, 3, 4]
+
+
+def test_record_sharded_payload_sets_shard_sizes():
+    g = OpGraph()
+    d = g.create_data(1)
+    meta = MetadataStore(mb_per_element=1.0)
+    meta.record(d, 0, 0.0, location=0, payload={0: [1, 2], 2: [3]})
+    rec = meta.get(d, 0)
+    assert rec.size_mb == 3.0
+    assert rec.shard_size(0, 4, None) == 2.0
+    assert rec.shard_size(1, 4, None) == 0.0
+    assert rec.shard_size(2, 4, None) == 1.0
+    assert rec.shard_payload(2) == [3]
+    assert rec.shard_payload(1) == []
+
+
+def test_shard_size_uniform_and_weighted():
+    g = OpGraph()
+    d = g.create_data(1)
+    meta = MetadataStore()
+    meta.record(d, 0, 100.0, location=0)
+    rec = meta.get(d, 0)
+    assert rec.shard_size(0, 4, None) == 25.0
+    assert rec.shard_size(1, 4, [1.0, 3.0, 0.0, 0.0]) == 75.0
+
+
+def test_pull_sources_locations_and_shards():
+    g = OpGraph()
+    src = g.create_data(2, "msg")
+    net = g.create_op(ResourceType.NETWORK, "sh").read(src).create(g.create_data(2))
+    meta = MetadataStore()
+    meta.record(src, 0, 40.0, location=0)
+    meta.record(src, 1, 60.0, location=1)
+    sources = meta.pull_sources(net, 0, num_machines=4)
+    assert sources == [(0, 20.0), (1, 30.0)]
+
+
+def test_pull_sources_external_input_round_robin():
+    g = OpGraph()
+    src = g.create_data(3, "in")
+    g.set_input(src, [30.0, 30.0, 30.0])
+    net = g.create_op(ResourceType.NETWORK, "sh").read(src).create(g.create_data(1))
+    meta = MetadataStore()
+    meta.load_inputs(src)
+    sources = meta.pull_sources(net, 0, num_machines=2)
+    # locations alternate 0,1,0 for the 'HDFS' partitions
+    assert [loc for loc, _s in sources] == [0, 1, 0]
+    assert all(s == 30.0 for _l, s in sources)

@@ -1,0 +1,190 @@
+"""Tests for Algorithm 1 (UrsaPlacement) scoring and planning rules."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.dataflow import DepType, OpGraph, ResourceType
+from repro.execution import Job, JobManager
+from repro.scheduler import EarliestJobFirst, UrsaPlacement, Worker
+from repro.scheduler.placement import ReadyStage, _WorkerView
+
+
+class _NullBackend:
+    def on_tasks_ready(self, jm, tasks):
+        pass
+
+    def enqueue_monotask(self, jm, mt):
+        pass
+
+    def on_job_complete(self, jm):
+        pass
+
+
+def build_jm(cluster, n_tasks=4, size=10.0, submit=0.0, job_id=0):
+    g = OpGraph(f"p{job_id}")
+    src = g.create_data(n_tasks)
+    g.set_input(src, [size] * n_tasks)
+    msg = g.create_data(n_tasks)
+    ser = g.create_op(ResourceType.CPU, "ser").read(src).create(msg)
+    sh = g.create_op(ResourceType.NETWORK, "sh").read(msg).create(g.create_data(n_tasks))
+    ser.to(sh, DepType.SYNC)
+    job = Job(job_id, g, submit, requested_memory_mb=1024.0)
+    jm = JobManager(cluster.sim, cluster, job, _NullBackend())
+    jm.start()
+    return jm
+
+
+def ready_stages(jm):
+    by_stage = {}
+    for t in jm.ready_tasks:
+        by_stage.setdefault(t.stage.stage_id, []).append(t)
+    return [ReadyStage(jm, ts[0].stage, ts) for ts in by_stage.values()]
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(ClusterSpec.small(num_machines=4, cores=4, core_rate_mbps=10.0))
+
+
+@pytest.fixture
+def workers(cluster):
+    return [Worker(cluster, i, EarliestJobFirst()) for i in range(cluster.num_machines)]
+
+
+def test_idle_cluster_has_full_headroom(cluster, workers):
+    view = _WorkerView(workers[0], 0, ept=0.3)
+    assert all(d == pytest.approx(1.0) for d in view.d)
+    assert view.d_mem == pytest.approx(1.0)
+
+
+def test_all_ready_tasks_placed_on_idle_cluster(cluster, workers):
+    jm = build_jm(cluster, n_tasks=4)
+    placement = UrsaPlacement(ept=0.3)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    assert len(assignments) == 4
+    assert {a.task.task_id for a in assignments} == {t.task_id for t in jm.job.plan.tasks[:4]}
+
+
+def test_placement_balances_load_across_workers(cluster, workers):
+    """Equal small tasks on an idle cluster spread over all machines."""
+    jm = build_jm(cluster, n_tasks=8, size=4.0)
+    placement = UrsaPlacement(ept=0.3)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    per_worker = {}
+    for a in assignments:
+        per_worker[a.worker] = per_worker.get(a.worker, 0) + 1
+    assert len(per_worker) == 4
+    assert set(per_worker.values()) == {2}
+
+
+def test_placement_round_limits_big_tasks_per_worker(cluster, workers):
+    """Tasks whose Inc exceeds a round's headroom land one-per-worker: the
+    D_r=0 blocking rule keeps a round from overloading a machine."""
+    jm = build_jm(cluster, n_tasks=8, size=100.0)
+    placement = UrsaPlacement(ept=0.3)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    assert len(assignments) == 4  # one per worker; the rest wait a round
+    assert {a.worker for a in assignments} == {0, 1, 2, 3}
+
+
+def test_memory_infeasible_worker_is_skipped(cluster, workers):
+    jm = build_jm(cluster, n_tasks=2, size=10.0)
+    # exhaust memory on machines 0-2
+    for i in range(3):
+        cluster.machine(i).reserve_memory(cluster.machine(i).memory.available)
+    placement = UrsaPlacement(ept=0.3)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    assert assignments
+    assert all(a.worker == 3 for a in assignments)
+
+
+def test_no_feasible_worker_returns_empty(cluster, workers):
+    jm = build_jm(cluster, n_tasks=2, size=10.0)
+    for i in range(4):
+        cluster.machine(i).reserve_memory(cluster.machine(i).memory.available)
+    placement = UrsaPlacement(ept=0.3)
+    assert placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst()) == []
+
+
+def test_blocking_rule_zero_headroom(cluster, workers):
+    """A worker with zero CPU headroom must not receive CPU-using tasks."""
+    from repro.scheduler.placement import _task_usage
+
+    jm = build_jm(cluster, n_tasks=1, size=10.0)
+    placement = UrsaPlacement(ept=0.3)
+    view = _WorkerView(workers[0], 0, ept=0.3)
+    view.d[0] = 0.0  # CPU headroom
+    task = jm.ready_tasks[0]
+    assert task.est_cpu_mb > 0
+    assert placement._score(task, _task_usage(task, False), view) is None
+
+
+def test_inc_capped_by_headroom(cluster, workers):
+    """Huge tasks cannot overflow the score beyond D_r^2 per resource."""
+    from repro.scheduler.placement import _task_usage
+
+    jm = build_jm(cluster, n_tasks=1, size=1e6)
+    placement = UrsaPlacement(ept=0.3)
+    view = _WorkerView(workers[0], 0, ept=0.3)
+    task = jm.ready_tasks[0]
+    f = placement._score(task, _task_usage(task, False), view)
+    assert f is not None
+    assert f <= 4.0 + 1e-9  # at most sum of D_r * D_r <= 4
+
+
+def test_locality_constraint_restricts_candidates(cluster, workers):
+    jm = build_jm(cluster, n_tasks=2, size=10.0)
+    for t in jm.ready_tasks:
+        t.locality = 2
+    placement = UrsaPlacement(ept=0.3)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    assert assignments and all(a.worker == 2 for a in assignments)
+
+
+def test_fully_placeable_stage_beats_partial(cluster, workers):
+    """Stage bonus: a stage that fits entirely is placed before a bigger
+    stage that can only partially fit."""
+    # tiny job (stage fits) vs wide job (stage bigger than free memory slots)
+    small = build_jm(cluster, n_tasks=2, size=10.0, job_id=0, submit=5.0)
+    wide = build_jm(cluster, n_tasks=64, size=10.0, job_id=1, submit=0.0)
+    for t in wide.ready_tasks:
+        t.est_mem_mb = cluster.machine(0).memory.capacity / 4  # 16 fit max
+    placement = UrsaPlacement(ept=0.3)
+    stages = ready_stages(wide) + ready_stages(small)
+    assignments = placement.place(stages, workers, 10.0, EarliestJobFirst())
+    order = [a.jm.job.job_id for a in assignments]
+    # the fully-placeable small stage was scheduled first despite EJF bonus
+    assert order[0] == 0 and order[1] == 0
+
+
+def test_ejf_bonus_orders_equal_stages(cluster, workers):
+    early = build_jm(cluster, n_tasks=2, size=10.0, job_id=0, submit=0.0)
+    late = build_jm(cluster, n_tasks=2, size=10.0, job_id=1, submit=50.0)
+    placement = UrsaPlacement(ept=0.3)
+    stages = ready_stages(late) + ready_stages(early)
+    assignments = placement.place(stages, workers, 100.0, EarliestJobFirst(weight=0.1))
+    order = [a.jm.job.job_id for a in assignments]
+    assert order[:2] == [0, 0]
+
+
+def test_non_stage_aware_places_tasks_individually(cluster, workers):
+    jm = build_jm(cluster, n_tasks=4)
+    placement = UrsaPlacement(ept=0.3, stage_aware=False)
+    assignments = placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    assert len(assignments) == 4
+
+
+def test_ignore_network_flag_zeroes_network_usage(cluster, workers):
+    from repro.scheduler.placement import _task_usage
+
+    jm = build_jm(cluster, n_tasks=1)
+    task = jm.ready_tasks[0]
+    task.est_net_mb = 50.0
+    usage = _task_usage(task, True)
+    assert usage[1] == 0.0
+    assert _task_usage(task, False)[1] == 50.0
+
+
+def test_invalid_ept_rejected():
+    with pytest.raises(ValueError):
+        UrsaPlacement(ept=0.0)

@@ -1,0 +1,194 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import Simulation, SimulationError
+
+
+def test_clock_starts_at_zero():
+    sim = Simulation()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulation()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.drain()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_instant_events_fire_in_schedule_order():
+    sim = Simulation()
+    fired = []
+    for tag in range(10):
+        sim.schedule(5.0, fired.append, tag)
+    sim.drain()
+    assert fired == list(range(10))
+
+
+def test_callbacks_can_schedule_more_events():
+    sim = Simulation()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.drain()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 4.0
+
+
+def test_call_soon_runs_after_queued_same_instant_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "first")
+
+    def at_one():
+        sim.call_soon(fired.append, "soon")
+
+    sim.at(1.0, at_one)
+    sim.schedule(1.0, fired.append, "second")
+    sim.drain()
+    assert fired == ["first", "second", "soon"]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulation()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    assert ev.pending
+    assert ev.cancel()
+    assert ev.cancelled and not ev.pending
+    sim.drain()
+    assert fired == []
+
+
+def test_cancel_twice_returns_false():
+    sim = Simulation()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.cancel()
+    assert not ev.cancel()
+
+
+def test_cancel_after_fire_returns_false():
+    sim = Simulation()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.drain()
+    assert ev.fired
+    assert not ev.cancel()
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_past_absolute_time_rejected():
+    sim = Simulation()
+    sim.schedule(5.0, lambda: None)
+    sim.drain()
+    with pytest.raises(SimulationError):
+        sim.at(4.0, lambda: None)
+
+
+def test_nonfinite_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(10.0, fired.append, "late")
+    sim.run(until=5.0)
+    assert fired == ["early"]
+    assert sim.now == 5.0
+    sim.drain()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_queue_empty():
+    sim = Simulation()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_max_events_guard():
+    sim = Simulation()
+
+    def forever():
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulation()
+    assert not sim.step()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_events_fired_counter():
+    sim = Simulation()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.drain()
+    assert sim.events_fired == 5
+
+
+def test_events_pending_excludes_cancelled():
+    sim = Simulation()
+    evs = [sim.schedule(1.0, lambda: None) for _ in range(4)]
+    evs[0].cancel()
+    evs[2].cancel()
+    assert sim.events_pending == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_fire_order_is_sorted_by_time(delays):
+    """Whatever order events are scheduled, they fire sorted by time with
+    insertion order breaking ties."""
+    sim = Simulation()
+    fired = []
+    for idx, d in enumerate(delays):
+        sim.schedule(d, fired.append, (d, idx))
+    sim.drain()
+    assert fired == sorted(fired, key=lambda p: (p[0], p[1]))
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=40),
+    st.data(),
+)
+def test_property_cancelled_subset_never_fires(delays, data):
+    sim = Simulation()
+    fired = []
+    handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(delays) - 1), max_size=len(delays))
+    )
+    for i in to_cancel:
+        handles[i].cancel()
+    sim.drain()
+    assert set(fired) == set(range(len(delays))) - to_cancel

@@ -1,0 +1,266 @@
+"""Tests for SharedProcessor (fluid processor sharing) and MemoryLedger."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import (
+    InsufficientMemoryError,
+    MemoryLedger,
+    SharedProcessor,
+    Simulation,
+    StepSeries,
+)
+
+
+def make_cpu(sim, cores=4, rate=10.0):
+    """A CPU pool: `cores` cores at `rate` MB/s each."""
+    return SharedProcessor(sim, capacity=cores, unit_rate=rate, per_task_cap=1.0)
+
+
+def test_single_task_runs_at_full_core_rate():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=4, rate=10.0)
+    done = []
+    cpu.submit(100.0, lambda: done.append(sim.now))
+    sim.drain()
+    assert done == [pytest.approx(10.0)]
+
+
+def test_tasks_within_capacity_do_not_interfere():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=4, rate=10.0)
+    done = []
+    for _ in range(4):
+        cpu.submit(100.0, lambda: done.append(sim.now))
+    sim.drain()
+    assert all(t == pytest.approx(10.0) for t in done)
+
+
+def test_oversubscribed_tasks_slow_down_fairly():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=2, rate=10.0)
+    done = []
+    for _ in range(4):  # demand 4 cores on a 2-core machine
+        cpu.submit(100.0, lambda: done.append(sim.now))
+    sim.drain()
+    # each task gets 2/4 of a core: 5 MB/s, so 20 s
+    assert all(t == pytest.approx(20.0) for t in done)
+
+
+def test_late_arrival_shares_remaining_service():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=1, rate=10.0)
+    done = {}
+    cpu.submit(100.0, lambda: done.setdefault("a", sim.now))
+    # at t=5, 50 MB of task a remains; b arrives and they share the core
+    sim.run(until=5.0)
+    cpu.submit(50.0, lambda: done.setdefault("b", sim.now))
+    sim.drain()
+    # from t=5 both run at 5 MB/s; both have 50 MB left -> finish at t=15
+    assert done["a"] == pytest.approx(15.0)
+    assert done["b"] == pytest.approx(15.0)
+
+
+def test_zero_work_completes_immediately_but_asynchronously():
+    sim = Simulation()
+    cpu = make_cpu(sim)
+    done = []
+    req = cpu.submit(0.0, lambda: done.append(sim.now))
+    assert done == []  # not synchronous
+    assert req.done
+    sim.drain()
+    assert done == [0.0]
+
+
+def test_cancel_returns_remaining_work():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=1, rate=10.0)
+    done = []
+    req = cpu.submit(100.0, lambda: done.append("a"))
+    sim.run(until=4.0)
+    remaining = cpu.cancel(req)
+    assert remaining == pytest.approx(60.0)
+    sim.drain()
+    assert done == []
+    assert req.cancelled and not req.active
+
+
+def test_cancel_speeds_up_survivors():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=1, rate=10.0)
+    done = {}
+    req_a = cpu.submit(100.0, lambda: done.setdefault("a", sim.now))
+    cpu.submit(100.0, lambda: done.setdefault("b", sim.now))
+    sim.run(until=10.0)  # each has received 50 MB
+    cpu.cancel(req_a)
+    sim.drain()
+    # b's remaining 50 MB now runs at full 10 MB/s -> finishes at t=15
+    assert done == {"b": pytest.approx(15.0)}
+
+
+def test_per_request_speed_and_units_in_use():
+    sim = Simulation()
+    cpu = make_cpu(sim, cores=4, rate=10.0)
+    assert cpu.per_request_speed() == 0.0
+    assert cpu.units_in_use == 0.0
+    reqs = [cpu.submit(1000.0, lambda: None) for _ in range(2)]
+    assert cpu.per_request_speed() == pytest.approx(10.0)
+    assert cpu.units_in_use == 2.0
+    for _ in range(6):
+        cpu.submit(1000.0, lambda: None)
+    assert cpu.units_in_use == 4.0
+    assert cpu.per_request_speed() == pytest.approx(10.0 * 4 / 8)
+    for r in reqs:
+        cpu.cancel(r)
+    assert cpu.active_count == 6
+
+
+def test_used_trace_records_units():
+    sim = Simulation()
+    trace = StepSeries(0.0)
+    cpu = SharedProcessor(sim, capacity=2, unit_rate=10.0, used_trace=trace)
+    cpu.submit(100.0, lambda: None)  # 10 s
+    cpu.submit(50.0, lambda: None)   # 5 s (shares? no: 2 cores, both full rate)
+    sim.drain()
+    # [0,5): 2 cores; [5,10): 1 core; after: 0
+    assert trace.integral(0, 10.0) == pytest.approx(2 * 5 + 1 * 5)
+    assert trace.current == 0.0
+
+
+def test_invalid_construction_rejected():
+    sim = Simulation()
+    with pytest.raises(ValueError):
+        SharedProcessor(sim, capacity=0, unit_rate=1.0)
+    with pytest.raises(ValueError):
+        SharedProcessor(sim, capacity=1, unit_rate=0.0)
+    with pytest.raises(ValueError):
+        SharedProcessor(sim, capacity=1, unit_rate=1.0, per_task_cap=0.0)
+
+
+def test_negative_or_nan_work_rejected():
+    sim = Simulation()
+    cpu = make_cpu(sim)
+    with pytest.raises(ValueError):
+        cpu.submit(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        cpu.submit(math.nan, lambda: None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),   # arrival
+            st.floats(min_value=0.1, max_value=200.0),  # work
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_work_conservation(jobs, cores):
+    """Total delivered service equals total submitted work, and the busy-core
+    integral equals total work / core rate."""
+    sim = Simulation()
+    trace = StepSeries(0.0)
+    rate = 10.0
+    cpu = SharedProcessor(sim, capacity=cores, unit_rate=rate, used_trace=trace)
+    finish_times = []
+
+    for arrival, work in jobs:
+        sim.at(arrival, lambda w=work: cpu.submit(w, lambda: finish_times.append(sim.now)))
+    sim.drain()
+
+    assert len(finish_times) == len(jobs)
+    total_work = sum(w for _a, w in jobs)
+    busy_core_seconds = trace.integral(0, sim.now + 1.0)
+    assert busy_core_seconds * rate == pytest.approx(total_work, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=8))
+def test_property_equal_batch_finishes_together(n, cores):
+    """n identical tasks submitted together finish at the same analytic time."""
+    sim = Simulation()
+    cpu = SharedProcessor(sim, capacity=cores, unit_rate=10.0)
+    finish = []
+    for _ in range(n):
+        cpu.submit(100.0, lambda: finish.append(sim.now))
+    sim.drain()
+    expected = 100.0 / (10.0 * min(1.0, cores / n))
+    assert all(t == pytest.approx(expected) for t in finish)
+
+
+# ----------------------------------------------------------------------
+# MemoryLedger
+# ----------------------------------------------------------------------
+def test_memory_allocate_and_release():
+    sim = Simulation()
+    mem = MemoryLedger(sim, 1000.0)
+    mem.allocate(400.0)
+    assert mem.used == 400.0
+    assert mem.available == 600.0
+    mem.release(150.0)
+    assert mem.used == pytest.approx(250.0)
+
+
+def test_memory_overallocation_raises():
+    sim = Simulation()
+    mem = MemoryLedger(sim, 100.0)
+    mem.allocate(90.0)
+    with pytest.raises(InsufficientMemoryError):
+        mem.allocate(20.0)
+    assert mem.used == 90.0  # failed allocation changed nothing
+
+
+def test_memory_try_allocate():
+    sim = Simulation()
+    mem = MemoryLedger(sim, 100.0)
+    assert mem.try_allocate(60.0)
+    assert not mem.try_allocate(60.0)
+    assert mem.used == 60.0
+
+
+def test_memory_release_more_than_used_raises():
+    sim = Simulation()
+    mem = MemoryLedger(sim, 100.0)
+    mem.allocate(10.0)
+    with pytest.raises(ValueError):
+        mem.release(20.0)
+
+
+def test_memory_negative_amounts_rejected():
+    sim = Simulation()
+    mem = MemoryLedger(sim, 100.0)
+    with pytest.raises(ValueError):
+        mem.allocate(-5.0)
+    with pytest.raises(ValueError):
+        mem.release(-5.0)
+
+
+def test_memory_trace_records_usage():
+    sim = Simulation()
+    trace = StepSeries(0.0)
+    mem = MemoryLedger(sim, 100.0, used_trace=trace)
+    sim.schedule(1.0, mem.allocate, 50.0)
+    sim.schedule(3.0, mem.release, 50.0)
+    sim.drain()
+    assert trace.integral(0, 4.0) == pytest.approx(100.0)  # 50 MB for 2 s
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.1, max_value=30.0), min_size=1, max_size=30))
+def test_property_memory_never_negative_or_overcommitted(amounts):
+    sim = Simulation()
+    mem = MemoryLedger(sim, 100.0)
+    held = []
+    for amt in amounts:
+        if mem.try_allocate(amt):
+            held.append(amt)
+        assert 0.0 <= mem.used <= mem.capacity + 1e-9
+    for amt in held:
+        mem.release(amt)
+    assert mem.used == pytest.approx(0.0, abs=1e-9)
