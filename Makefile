@@ -1,0 +1,23 @@
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-baseline
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Smoke-test the perf harness itself: run one experiment through the CLI
+# twice against the same cache — the second invocation must be served from
+# disk (watch the "[cached]" unit counts in the summary line).
+bench-smoke:
+	rm -rf .repro-cache-smoke
+	$(PY) -m repro.experiments --only fig8 --scale tiny --parallel 2 --cache-dir .repro-cache-smoke
+	$(PY) -m repro.experiments --only fig8 --scale tiny --parallel 2 --cache-dir .repro-cache-smoke
+	rm -rf .repro-cache-smoke
+
+# Regenerate BENCH_harness.json (serial vs parallel vs cached suite time).
+bench-baseline:
+	$(PY) scripts/bench_harness.py --scale bench --out BENCH_harness.json

@@ -18,6 +18,7 @@ import os
 import pytest
 
 from repro.experiments.common import SCALES
+from repro.perf import ParallelRunner, ResultCache
 
 
 @pytest.fixture(scope="session")
@@ -26,6 +27,27 @@ def scale_name() -> str:
     if name not in SCALES:
         raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
     return name
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker-process count for harness benchmarks.
+
+    ``REPRO_BENCH_PARALLEL`` overrides; defaults to the machine's cores,
+    capped at 4 so the comparison stays meaningful on big boxes.
+    """
+    env = os.environ.get("REPRO_BENCH_PARALLEL")
+    if env is not None:
+        return int(env)
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@pytest.fixture()
+def perf_runner(bench_workers, tmp_path) -> ParallelRunner:
+    """A parallel runner with a throwaway cache (set ``REPRO_BENCH_CACHE``
+    to a path to persist the cache across benchmark runs instead)."""
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or (tmp_path / "cache")
+    return ParallelRunner(workers=bench_workers, cache=ResultCache(cache_dir))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,46 @@
+"""Bench: the perf harness itself — parallel fan-out + cached re-run.
+
+Keeps the harness under test at benchmark scale: the parallel suite must
+reproduce the serial suite bit-for-bit, and a warm cache must serve a
+re-run in a small fraction of the cold time (ISSUE 2 acceptance: <10 %).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import pickle
+import time
+
+from repro.perf import ParallelRunner
+
+from .conftest import run_once
+
+# one metric table + one figure: enough breadth to exercise fan-out and
+# payload reduction without replaying the full 12-experiment suite
+SUBSET = ["table2", "fig8"]
+
+
+def _quiet_run(runner, scale_name):
+    with contextlib.redirect_stdout(io.StringIO()):
+        return runner.run_many(SUBSET, scale_name)
+
+
+def test_parallel_suite_matches_serial(benchmark, scale_name, bench_workers):
+    serial = _quiet_run(ParallelRunner(workers=0), scale_name)
+    parallel = run_once(benchmark, _quiet_run, ParallelRunner(workers=bench_workers), scale_name)
+    assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+
+def test_cached_rerun_is_fast(perf_runner, scale_name):
+    t0 = time.perf_counter()
+    cold = _quiet_run(perf_runner, scale_name)
+    cold_s = time.perf_counter() - t0
+    assert perf_runner.executed_units > 0
+
+    t0 = time.perf_counter()
+    warm = _quiet_run(perf_runner, scale_name)
+    warm_s = time.perf_counter() - t0
+    assert perf_runner.executed_units == 0, "second run must be served from cache"
+    assert pickle.dumps(warm) == pickle.dumps(cold)
+    assert warm_s < 0.5 * cold_s, f"cached re-run not fast: {warm_s:.2f}s vs {cold_s:.2f}s cold"

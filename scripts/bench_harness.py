@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Measure the perf harness: serial vs parallel vs cached suite wall time.
+
+Writes a JSON baseline (default ``BENCH_harness.json``) with three passes
+over the experiment suite:
+
+1. ``serial``    — workers=0, no cache (the legacy ``run_all`` behaviour)
+2. ``parallel``  — N workers, cold cache (fan-out + store overhead)
+3. ``cached``    — N workers, warm cache (every unit served from disk)
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_harness.py --scale bench
+    PYTHONPATH=src python scripts/bench_harness.py --scale tiny --only table2,fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import pickle
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def _measure(runner, names, scale):
+    from repro.experiments.registry import SPLIT_EXPERIMENTS  # noqa: F401 (import check)
+
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(io.StringIO()):
+        results = runner.run_many(names, scale)
+    return time.perf_counter() - start, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="bench")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker count (default: min(4, cores))",
+    )
+    parser.add_argument("--only", default=None, help="comma-separated experiment subset")
+    parser.add_argument("--out", default="BENCH_harness.json")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.perf import ParallelRunner, ResultCache
+
+    names = list(EXPERIMENTS) if args.only is None else [n for n in args.only.split(",") if n]
+    workers = args.workers if args.workers is not None else max(1, min(4, os.cpu_count() or 1))
+
+    print(f"suite: {names}", file=sys.stderr)
+    print(f"scale={args.scale} workers={workers}", file=sys.stderr)
+
+    serial_s, serial_results = _measure(ParallelRunner(workers=0), names, args.scale)
+    print(f"serial:   {serial_s:8.1f} s", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runner = ParallelRunner(workers=workers, cache=ResultCache(cache_dir))
+        parallel_s, parallel_results = _measure(runner, names, args.scale)
+        executed = runner.executed_units
+        print(f"parallel: {parallel_s:8.1f} s  ({executed} units)", file=sys.stderr)
+
+        cached_s, cached_results = _measure(runner, names, args.scale)
+        print(f"cached:   {cached_s:8.1f} s  ({runner.cached_units} hits)", file=sys.stderr)
+        if runner.executed_units:
+            print("WARNING: warm pass re-executed units", file=sys.stderr)
+
+    identical = pickle.dumps(parallel_results) == pickle.dumps(serial_results) and (
+        pickle.dumps(cached_results) == pickle.dumps(serial_results)
+    )
+
+    baseline = {
+        "benchmark": "experiment-suite wall time (serial vs parallel vs cached)",
+        "scale": args.scale,
+        "experiments": names,
+        "units": executed,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "serial_s": round(serial_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "cached_s": round(cached_s, 2),
+        "parallel_speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "cached_fraction_of_cold": round(cached_s / parallel_s, 4) if parallel_s else None,
+        "results_bit_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

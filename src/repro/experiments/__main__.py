@@ -1,0 +1,95 @@
+"""CLI for the experiment suite.
+
+Examples::
+
+    # the whole suite, serial (legacy behaviour)
+    python -m repro.experiments --scale bench
+
+    # fan units across 4 worker processes with an on-disk result cache
+    python -m repro.experiments --parallel 4 --cache-dir .repro-cache
+
+    # list what can run / run a subset
+    python -m repro.experiments --list
+    python -m repro.experiments --only table2 --only fig8 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..perf.cache import ResultCache
+from ..perf.runner import ParallelRunner, default_workers
+from .common import SCALES
+from .registry import EXPERIMENTS, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale", default="bench", choices=sorted(SCALES),
+        help="experiment scale (default: bench)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan simulation units across N worker processes "
+             "(0 = auto-detect core count; omit for serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache unit results under DIR; unchanged units are skipped on re-run",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="NAME",
+        help="run only this experiment (repeatable; also accepts comma-separated lists)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="list experiment names and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    only = None
+    if args.only:
+        only = [name for group in args.only for name in group.split(",") if name]
+        if not only:
+            parser.error("--only given but no experiment names; see --list")
+        unknown = [n for n in only if n not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiments {unknown}; see --list")
+
+    if args.parallel is None:
+        workers = 0
+    elif args.parallel == 0:
+        workers = default_workers()
+    elif args.parallel > 0:
+        workers = args.parallel
+    else:
+        parser.error("--parallel must be >= 0")
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ParallelRunner(workers=workers, cache=cache)
+
+    start = time.perf_counter()
+    run_all(args.scale, only=only, seed=args.seed, runner=runner)
+    elapsed = time.perf_counter() - start
+    mode = f"{workers} workers" if workers else "serial"
+    summary = f"[{mode}] suite completed in {elapsed:.1f} s"
+    if cache is not None:
+        summary += f" ({runner.executed_units} units executed, {runner.cached_units} from cache)"
+    print(f"\n{summary}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,15 @@ from ..baselines import (
     tez_config,
 )
 from ..cluster import Cluster, ClusterSpec
-from ..metrics import SystemMetrics, compute_metrics
+from ..metrics import SystemMetrics, compute_metrics, format_metric_rows
+from ..perf.units import SplitExperiment
 from ..scheduler import UrsaConfig, UrsaSystem
 from ..workloads import JobSpec, submit_workload
 
-__all__ = ["Scale", "SCALES", "build_system", "run_experiment", "SYSTEM_NAMES", "ExperimentResult"]
+__all__ = [
+    "Scale", "SCALES", "build_system", "run_experiment", "run_one_system",
+    "SYSTEM_NAMES", "ExperimentResult", "MetricsResult", "metric_table_split",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,63 @@ class ExperimentResult:
         return self.system.cluster
 
 
+@dataclass
+class MetricsResult:
+    """Picklable slice of an :class:`ExperimentResult` — what a worker
+    process can ship back to the parent (no live system/cluster handles)."""
+
+    name: str
+    metrics: SystemMetrics
+
+
+def run_one_system(
+    name: str,
+    workload_fn: Callable[[Scale], list[tuple[JobSpec, float]]],
+    scale: Scale,
+    seed: int = 0,
+    overrides: Optional[dict] = None,
+) -> ExperimentResult:
+    """Run one named system over a fresh cluster + regenerated workload.
+
+    This is the independent simulation unit the parallel runner fans out;
+    :func:`run_experiment` is just a serial loop over it.
+    """
+    cluster = Cluster(scale.cluster)
+    system = build_system(name, cluster, **(overrides or {}))
+    workload = workload_fn(scale)
+    submit_workload(system, workload, seed=seed)
+    system.run(max_events=scale.max_events)
+    if not system.all_done:
+        raise RuntimeError(f"{name}: workload did not finish")
+    return ExperimentResult(name, compute_metrics(system), system)
+
+
+def metric_table_split(
+    name: str,
+    systems: Sequence[str],
+    workload_fn: Callable[[Scale], list[tuple[JobSpec, float]]],
+    title: str,
+) -> SplitExperiment:
+    """Enumerate/run/reduce triple for the "one row per system" tables
+    (Tables 2–4): each unit is one system's full run, the payload is its
+    :class:`SystemMetrics`, and the reduce prints the metric table.
+
+    ``title`` may contain ``{scale}``, filled with the scale name.
+    """
+
+    def unit_keys(sc: Scale) -> list[str]:
+        return list(systems)
+
+    def run_unit(sc: Scale, system_name: str, seed: int = 0) -> SystemMetrics:
+        return run_one_system(system_name, workload_fn, sc, seed=seed).metrics
+
+    def reduce(sc: Scale, payloads: dict[str, SystemMetrics]) -> dict[str, MetricsResult]:
+        print(format_metric_rows(payloads, title=title.format(scale=sc.name)))
+        return {k: MetricsResult(k, m) for k, m in payloads.items()}
+
+    return SplitExperiment(name, unit_keys, run_unit, reduce)
+
+
 def run_experiment(
     system_names: Sequence[str],
     workload_fn: Callable[[Scale], list[tuple[JobSpec, float]]],
@@ -132,13 +193,6 @@ def run_experiment(
     """Run the same (regenerated) workload through each named system."""
     results: dict[str, ExperimentResult] = {}
     for name in system_names:
-        cluster = Cluster(scale.cluster)
         overrides = overrides_fn(name) if overrides_fn else {}
-        system = build_system(name, cluster, **overrides)
-        workload = workload_fn(scale)
-        submit_workload(system, workload, seed=seed)
-        system.run(max_events=scale.max_events)
-        if not system.all_done:
-            raise RuntimeError(f"{name}: workload did not finish")
-        results[name] = ExperimentResult(name, compute_metrics(system), system)
+        results[name] = run_one_system(name, workload_fn, scale, seed=seed, overrides=overrides)
     return results

@@ -12,11 +12,17 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics import format_table, multi_series_chart
-from .common import SCALES, ExperimentResult, Scale, run_experiment
+from ..perf.units import SplitExperiment
+from .common import SCALES, ExperimentResult, Scale, run_one_system
 from .table2_tpch import workload as tpch_wl
 from .table3_tpcds import workload as tpcds_wl
 
-__all__ = ["run", "cpu_flatness"]
+__all__ = ["run", "SPLIT", "cpu_flatness", "FIGURES"]
+
+FIGURES = {
+    "Figure 4 (TPC-H)": (("ursa-ejf", "ursa-srjf", "y+s", "y+t"), tpch_wl),
+    "Figure 5 (TPC-DS)": (("ursa-ejf", "ursa-srjf", "y+s"), tpcds_wl),
+}
 
 
 def cpu_flatness(result: ExperimentResult, lo_frac=0.1, hi_frac=0.7, dt=1.0):
@@ -31,33 +37,48 @@ def cpu_flatness(result: ExperimentResult, lo_frac=0.1, hi_frac=0.7, dt=1.0):
     return mean, cv, cpu
 
 
-def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -> dict:
-    sc = SCALES[scale] if isinstance(scale, str) else scale
-    out: dict = {}
-    for figure, systems, wl in (
-        ("Figure 4 (TPC-H)", ("ursa-ejf", "ursa-srjf", "y+s", "y+t"), tpch_wl),
-        ("Figure 5 (TPC-DS)", ("ursa-ejf", "ursa-srjf", "y+s"), tpcds_wl),
-    ):
-        results = run_experiment(systems, wl, sc, seed=seed)
+def unit_keys(sc: Scale) -> list[tuple[str, str]]:
+    return [(figure, name) for figure, (systems, _wl) in FIGURES.items() for name in systems]
+
+
+def run_unit(sc: Scale, key: tuple[str, str], seed: int = 0) -> dict:
+    figure, name = key
+    _systems, wl = FIGURES[figure]
+    res = run_one_system(name, wl, sc, seed=seed)
+    mean, cv, cpu = cpu_flatness(res)
+    end = res.system.makespan()
+    _g, net = res.cluster.utilization_timeseries("net_used", 0.1 * end, 0.7 * end, dt=1.0)
+    _g, mem = res.cluster.utilization_timeseries("mem_used", 0.1 * end, 0.7 * end, dt=1.0)
+    return {
+        "cpu_mean": mean, "cpu_cv": cv,
+        "series": {"cpu": cpu, "net": net, "mem": mem},
+    }
+
+
+def reduce(sc: Scale, payloads: dict, show_charts: bool = True) -> dict:
+    out = dict(payloads)
+    for figure, (systems, _wl) in FIGURES.items():
         rows = []
-        for name, res in results.items():
-            mean, cv, cpu = cpu_flatness(res)
-            end = res.system.makespan()
-            _g, net = res.cluster.utilization_timeseries("net_used", 0.1 * end, 0.7 * end, dt=1.0)
-            _g, mem = res.cluster.utilization_timeseries("mem_used", 0.1 * end, 0.7 * end, dt=1.0)
-            out[(figure, name)] = {
-                "result": res, "cpu_mean": mean, "cpu_cv": cv,
-                "series": {"cpu": cpu, "net": net, "mem": mem},
-            }
-            rows.append([name, mean, cv])
+        for name in systems:
+            unit = out[(figure, name)]
+            rows.append([name, unit["cpu_mean"], unit["cpu_cv"]])
             if show_charts:
+                s = unit["series"]
                 print(f"\n{figure}: {name} (busy window, {sc.name} scale)")
                 print(multi_series_chart(
-                    {"[CPU]Totl%": cpu, "[NET]Recv%": net, "[MEM]Used%": mem}
+                    {"[CPU]Totl%": s["cpu"], "[NET]Recv%": s["net"], "[MEM]Used%": s["mem"]}
                 ))
         print()
         print(format_table(["system", "mean CPU %", "CPU CoV"], rows, title=figure))
     return out
+
+
+SPLIT = SplitExperiment("fig4+fig5", unit_keys, run_unit, reduce)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    return SPLIT.run_serial(sc, seed=seed, show_charts=show_charts)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from ..cluster import Cluster
 from ..metrics import compute_metrics, format_table
+from ..perf.units import SplitExperiment
 from ..scheduler import UrsaConfig, UrsaSystem
 from ..workloads import submit_workload, tpch2_workload
 from .common import SCALES, Scale
 
-__all__ = ["run", "VARIANTS"]
+__all__ = ["run", "SPLIT", "VARIANTS"]
 
 VARIANTS = {
     "baseline": dict(),
@@ -28,29 +29,35 @@ VARIANTS = {
 }
 
 
-def run(scale: str | Scale = "bench", seed: int = 0, policy: str = "ejf") -> dict:
-    sc = SCALES[scale] if isinstance(scale, str) else scale
-    out: dict = {}
-    rows = []
-    for name, flags in VARIANTS.items():
-        cluster = Cluster(sc.cluster)
-        system = UrsaSystem(cluster, UrsaConfig(policy=policy, **flags))
-        submit_workload(
-            system,
-            tpch2_workload(
-                scale=sc.workload_scale,
-                arrival_interval=sc.arrival_interval,
-                max_parallelism=sc.max_parallelism,
-                partition_mb=sc.partition_mb,
-            ),
-            seed=seed,
-        )
-        system.run(max_events=sc.max_events)
-        if not system.all_done:
-            raise RuntimeError(f"{name}: did not finish")
-        metrics = compute_metrics(system)
-        out[name] = metrics
-        rows.append([name, metrics.makespan, metrics.mean_jct, 100.0 * metrics.ue_cpu])
+def unit_keys(sc: Scale, policy: str = "ejf") -> list[str]:
+    return list(VARIANTS)
+
+
+def run_unit(sc: Scale, variant: str, seed: int = 0, policy: str = "ejf"):
+    flags = VARIANTS[variant]
+    cluster = Cluster(sc.cluster)
+    system = UrsaSystem(cluster, UrsaConfig(policy=policy, **flags))
+    submit_workload(
+        system,
+        tpch2_workload(
+            scale=sc.workload_scale,
+            arrival_interval=sc.arrival_interval,
+            max_parallelism=sc.max_parallelism,
+            partition_mb=sc.partition_mb,
+        ),
+        seed=seed,
+    )
+    system.run(max_events=sc.max_events)
+    if not system.all_done:
+        raise RuntimeError(f"{variant}: did not finish")
+    return compute_metrics(system)
+
+
+def reduce(sc: Scale, payloads: dict, policy: str = "ejf") -> dict:
+    out = dict(payloads)
+    rows = [
+        [name, m.makespan, m.mean_jct, 100.0 * m.ue_cpu] for name, m in out.items()
+    ]
     base = out["baseline"]
     for name in ("non-stage-aware", "ignore-network"):
         m = out[name]
@@ -66,6 +73,14 @@ def run(scale: str | Scale = "bench", seed: int = 0, policy: str = "ejf") -> dic
         title=f"Figure 7 / §5.2 (stage-awareness & network demands, {policy}, scale={sc.name})",
     ))
     return out
+
+
+SPLIT = SplitExperiment("fig7+sec5.2", unit_keys, run_unit, reduce)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0, policy: str = "ejf") -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    return SPLIT.run_serial(sc, seed=seed, policy=policy)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..cluster import Cluster
 from ..metrics import compute_metrics, format_table, multi_series_chart
+from ..perf.units import SplitExperiment
 from ..workloads import (
     make_cc_job,
     make_lr_job,
@@ -26,7 +27,9 @@ from ..workloads import (
 )
 from .common import SCALES, Scale, build_system
 
-__all__ = ["run", "JOBS", "PAPER_UE"]
+__all__ = ["run", "SPLIT", "JOBS", "ENGINES", "PAPER_UE"]
+
+ENGINES = ("y+s", "y+t", "ursa-ejf")
 
 PAPER_UE = {
     ("spark", "lr"): 13.97,
@@ -58,33 +61,44 @@ def JOBS(sc: Scale):
     }
 
 
-def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -> dict:
-    sc = SCALES[scale] if isinstance(scale, str) else scale
-    results: dict = {}
+def unit_keys(sc: Scale) -> list[tuple[str, str]]:
+    return [(engine, job_name) for engine in ENGINES for job_name in JOBS(sc)]
+
+
+def run_unit(sc: Scale, key: tuple[str, str], seed: int = 0) -> dict:
+    engine, job_name = key
+    spec = JOBS(sc)[job_name]
+    cluster = Cluster(sc.cluster)
+    system = build_system(engine, cluster)
+    submit_workload(system, [(spec, 0.0)], seed=seed)
+    system.run(max_events=sc.max_events)
+    if not system.all_done:
+        raise RuntimeError(f"{engine}/{job_name}: did not finish")
+    metrics = compute_metrics(system)
+    end = system.makespan()
+    _g, cpu = cluster.utilization_timeseries("cpu_used", 0, end, dt=max(end / 60, 0.5))
+    _g, net = cluster.utilization_timeseries("net_used", 0, end, dt=max(end / 60, 0.5))
+    _g, mem = cluster.utilization_timeseries("mem_used", 0, end, dt=max(end / 60, 0.5))
+    return {
+        "metrics": metrics,
+        "series": {"cpu": cpu, "net": net, "mem": mem},
+    }
+
+
+def reduce(sc: Scale, payloads: dict, show_charts: bool = True) -> dict:
+    results = dict(payloads)
+    job_names = list(JOBS(sc))
     rows = []
-    for engine in ("y+s", "y+t", "ursa-ejf"):
+    for engine in ENGINES:
         row = [engine]
-        for job_name, spec in JOBS(sc).items():
-            cluster = Cluster(sc.cluster)
-            system = build_system(engine, cluster)
-            submit_workload(system, [(spec, 0.0)], seed=seed)
-            system.run(max_events=sc.max_events)
-            if not system.all_done:
-                raise RuntimeError(f"{engine}/{job_name}: did not finish")
-            metrics = compute_metrics(system)
-            end = system.makespan()
-            grid, cpu = cluster.utilization_timeseries("cpu_used", 0, end, dt=max(end / 60, 0.5))
-            _g, net = cluster.utilization_timeseries("net_used", 0, end, dt=max(end / 60, 0.5))
-            _g, mem = cluster.utilization_timeseries("mem_used", 0, end, dt=max(end / 60, 0.5))
-            results[(engine, job_name)] = {
-                "metrics": metrics,
-                "series": {"cpu": cpu, "net": net, "mem": mem},
-            }
-            row.append(100.0 * metrics.ue_cpu)
+        for job_name in job_names:
+            unit = results[(engine, job_name)]
+            row.append(100.0 * unit["metrics"].ue_cpu)
             if show_charts and engine in ("y+s", "ursa-ejf"):
+                s = unit["series"]
                 print(f"\nFigure 1: {job_name} on {engine} (CPU/NET/MEM %, {sc.name} scale)")
                 print(multi_series_chart(
-                    {"[CPU]Totl%": cpu, "[NET]Recv%": net, "[MEM]Used%": mem}
+                    {"[CPU]Totl%": s["cpu"], "[NET]Recv%": s["net"], "[MEM]Used%": s["mem"]}
                 ))
         rows.append(row)
     print()
@@ -94,6 +108,14 @@ def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -
         title=f"Table 1 (single-job CPU UE, scale={sc.name})",
     ))
     return results
+
+
+SPLIT = SplitExperiment("table1+fig1", unit_keys, run_unit, reduce)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0, show_charts: bool = True) -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    return SPLIT.run_serial(sc, seed=seed, show_charts=show_charts)
 
 
 if __name__ == "__main__":  # pragma: no cover

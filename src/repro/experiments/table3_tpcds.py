@@ -15,11 +15,10 @@ relative widening is the shape this experiment checks.
 
 from __future__ import annotations
 
-from ..metrics import format_metric_rows
 from ..workloads import tpcds_workload
-from .common import SCALES, ExperimentResult, Scale, run_experiment
+from .common import SCALES, MetricsResult, Scale, metric_table_split
 
-__all__ = ["run", "SYSTEMS", "PAPER_ROWS"]
+__all__ = ["run", "SPLIT", "SYSTEMS", "PAPER_ROWS"]
 
 SYSTEMS = ("ursa-ejf", "ursa-srjf", "y+s")
 
@@ -40,14 +39,14 @@ def workload(scale: Scale):
     )
 
 
-def run(scale: str | Scale = "bench", seed: int = 0) -> dict[str, ExperimentResult]:
+SPLIT = metric_table_split(
+    "table3", SYSTEMS, workload, "Table 3 (TPC-DS, scale={scale})"
+)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0) -> dict[str, MetricsResult]:
     sc = SCALES[scale] if isinstance(scale, str) else scale
-    results = run_experiment(SYSTEMS, workload, sc, seed=seed)
-    print(format_metric_rows(
-        {k: v.metrics for k, v in results.items()},
-        title=f"Table 3 (TPC-DS, scale={sc.name})",
-    ))
-    return results
+    return SPLIT.run_serial(sc, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from ..cluster import Cluster
 from ..metrics import compute_metrics, format_table, mean_straggler_ratio
+from ..perf.units import SplitExperiment
 from ..workloads import mixed_workload, submit_workload
 from .common import SCALES, Scale, build_system
 
-__all__ = ["run", "RATIOS", "PAPER_ROWS"]
+__all__ = ["run", "SPLIT", "RATIOS", "PAPER_ROWS"]
 
 RATIOS = (1.0, 2.0, 4.0)
 
@@ -34,35 +35,44 @@ PAPER_ROWS = {
 }
 
 
-def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
-    sc = SCALES[scale] if isinstance(scale, str) else scale
-    results: dict = {}
+def unit_keys(sc: Scale) -> list[tuple[float, str]]:
+    return [(ratio, name) for ratio in RATIOS for name in ("y+u", "y+s")]
+
+
+def run_unit(sc: Scale, key: tuple[float, str], seed: int = 0) -> dict:
+    ratio, name = key
+    cluster = Cluster(sc.cluster)
+    system = build_system(name, cluster, subscription_ratio=ratio)
+    submit_workload(
+        system,
+        mixed_workload(
+            scale=sc.workload_scale,
+            arrival_interval=sc.arrival_interval,
+            max_parallelism=sc.max_parallelism,
+            partition_mb=sc.partition_mb,
+        ),
+        seed=seed,
+    )
+    system.run(max_events=sc.max_events)
+    if not system.all_done:
+        raise RuntimeError(f"{name} ratio={ratio}: did not finish")
+    return {
+        "metrics": compute_metrics(system),
+        "straggler_ratio": mean_straggler_ratio(system.jobs),
+    }
+
+
+def reduce(sc: Scale, payloads: dict) -> dict:
     rows = []
     for ratio in RATIOS:
         row = [f"{ratio:.0f}"]
         for name in ("y+u", "y+s"):
-            cluster = Cluster(sc.cluster)
-            system = build_system(name, cluster, subscription_ratio=ratio)
-            submit_workload(
-                system,
-                mixed_workload(
-                    scale=sc.workload_scale,
-                    arrival_interval=sc.arrival_interval,
-                    max_parallelism=sc.max_parallelism,
-                    partition_mb=sc.partition_mb,
-                ),
-                seed=seed,
-            )
-            system.run(max_events=sc.max_events)
-            if not system.all_done:
-                raise RuntimeError(f"{name} ratio={ratio}: did not finish")
-            metrics = compute_metrics(system)
-            stragglers = mean_straggler_ratio(system.jobs)
-            results[(ratio, name)] = {
-                "metrics": metrics,
-                "straggler_ratio": stragglers,
-            }
-            row += [metrics.makespan, metrics.mean_jct, 100.0 * stragglers]
+            unit = payloads[(ratio, name)]
+            row += [
+                unit["metrics"].makespan,
+                unit["metrics"].mean_jct,
+                100.0 * unit["straggler_ratio"],
+            ]
         rows.append(row)
     print(
         format_table(
@@ -71,7 +81,15 @@ def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
             title=f"Table 5 (CPU over-subscription, scale={sc.name})",
         )
     )
-    return results
+    return dict(payloads)
+
+
+SPLIT = SplitExperiment("table5", unit_keys, run_unit, reduce)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    return SPLIT.run_serial(sc, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover

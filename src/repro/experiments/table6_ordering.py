@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from ..cluster import Cluster
 from ..metrics import compute_metrics, format_table
+from ..perf.units import SplitExperiment
 from ..scheduler import UrsaConfig, UrsaSystem
 from ..workloads import submit_workload, tpch2_workload
 from .common import SCALES, Scale
 
-__all__ = ["run", "SETTINGS", "PAPER_ROWS"]
+__all__ = ["run", "SPLIT", "SETTINGS", "PAPER_ROWS"]
 
 SETTINGS = {
     "JO": dict(job_ordering=True, monotask_ordering=False),
@@ -38,32 +39,37 @@ PAPER_ROWS = {
 }
 
 
-def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
-    sc = SCALES[scale] if isinstance(scale, str) else scale
-    results: dict = {}
+def unit_keys(sc: Scale) -> list[tuple[str, str]]:
+    return [(setting, policy) for setting in SETTINGS for policy in ("ejf", "srjf")]
+
+
+def run_unit(sc: Scale, key: tuple[str, str], seed: int = 0):
+    setting, policy = key
+    flags = SETTINGS[setting]
+    cluster = Cluster(sc.cluster)
+    system = UrsaSystem(cluster, UrsaConfig(policy=policy, policy_weight=0.2, **flags))
+    submit_workload(
+        system,
+        tpch2_workload(
+            scale=sc.workload_scale,
+            arrival_interval=sc.arrival_interval,
+            max_parallelism=sc.max_parallelism,
+            partition_mb=sc.partition_mb,
+        ),
+        seed=seed,
+    )
+    system.run(max_events=sc.max_events)
+    if not system.all_done:
+        raise RuntimeError(f"{setting}/{policy}: did not finish")
+    return compute_metrics(system)
+
+
+def reduce(sc: Scale, payloads: dict) -> dict:
     rows = []
-    for setting, flags in SETTINGS.items():
+    for setting in SETTINGS:
         row = [setting]
         for policy in ("ejf", "srjf"):
-            cluster = Cluster(sc.cluster)
-            system = UrsaSystem(
-                cluster, UrsaConfig(policy=policy, policy_weight=0.2, **flags)
-            )
-            submit_workload(
-                system,
-                tpch2_workload(
-                    scale=sc.workload_scale,
-                    arrival_interval=sc.arrival_interval,
-                    max_parallelism=sc.max_parallelism,
-                    partition_mb=sc.partition_mb,
-                ),
-                seed=seed,
-            )
-            system.run(max_events=sc.max_events)
-            if not system.all_done:
-                raise RuntimeError(f"{setting}/{policy}: did not finish")
-            metrics = compute_metrics(system)
-            results[(setting, policy)] = metrics
+            metrics = payloads[(setting, policy)]
             row += [metrics.makespan, metrics.mean_jct]
         rows.append(row)
     print(
@@ -73,7 +79,15 @@ def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
             title=f"Table 6 (JO/MO ablation on TPC-H2, scale={sc.name})",
         )
     )
-    return results
+    return dict(payloads)
+
+
+SPLIT = SplitExperiment("table6", unit_keys, run_unit, reduce)
+
+
+def run(scale: str | Scale = "bench", seed: int = 0) -> dict:
+    sc = SCALES[scale] if isinstance(scale, str) else scale
+    return SPLIT.run_serial(sc, seed=seed)
 
 
 if __name__ == "__main__":  # pragma: no cover

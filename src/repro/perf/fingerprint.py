@@ -1,0 +1,48 @@
+"""Source-tree fingerprinting for cache invalidation.
+
+The result cache must never serve a payload produced by *different
+simulator code*: any edit under ``src/repro/`` changes what a simulation
+would compute, so the fingerprint of the whole package is folded into every
+cache key.  The fingerprint is content-based (file bytes, not mtimes) so it
+is stable across checkouts and rebuilds of identical code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["source_fingerprint", "clear_fingerprint_cache"]
+
+_cache: dict[Path, str] = {}
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def source_fingerprint(root: Optional[Path] = None) -> str:
+    """Hex digest over every ``*.py`` file under ``root`` (default: the
+    installed ``repro`` package).  Cached per-process: the source tree does
+    not change underneath a running harness."""
+    root = Path(root).resolve() if root is not None else _package_root()
+    cached = _cache.get(root)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    digest = h.hexdigest()
+    _cache[root] = digest
+    return digest
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoized fingerprints (for tests that rewrite source trees)."""
+    _cache.clear()

@@ -48,6 +48,10 @@ class MonotaskQueue:
         self.rtype = rtype
         self._heap: list[QueueEntry] = []
         self._seq = 0
+        # running total of queued input sizes, maintained on push/pop so
+        # queued_work_mb is O(1) (it feeds the APT/backlog estimates that the
+        # placement loop reads per candidate worker)
+        self._work_mb = 0.0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -65,11 +69,20 @@ class MonotaskQueue:
         entry = QueueEntry(self._key(policy, now, jm, mt), self._seq, jm, mt)
         self._seq += 1
         heapq.heappush(self._heap, entry)
+        self._work_mb += mt.input_size_mb
 
     def pop(self) -> Optional[QueueEntry]:
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        if self._heap:
+            self._work_mb -= entry.mt.input_size_mb
+        else:
+            # pin the running total back to exactly zero when the queue
+            # drains, so float cancellation error cannot accumulate across
+            # fill/drain cycles
+            self._work_mb = 0.0
+        return entry
 
     def peek(self) -> Optional[QueueEntry]:
         return self._heap[0] if self._heap else None
@@ -81,7 +94,8 @@ class MonotaskQueue:
         heapq.heapify(self._heap)
 
     def queued_work_mb(self) -> float:
-        return sum(e.mt.input_size_mb for e in self._heap)
+        """Total queued input size in MB (O(1); maintained incrementally)."""
+        return self._work_mb
 
     def __iter__(self) -> Iterator[QueueEntry]:  # pragma: no cover - debug
         return iter(self._heap)

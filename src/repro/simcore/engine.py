@@ -36,15 +36,23 @@ class EventHandle:
     any special way; it only allows cancellation and inspection.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulation"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._sim = sim
 
     @property
     def cancelled(self) -> bool:
@@ -69,6 +77,8 @@ class EventHandle:
             # keep large closures (and the object graphs they capture) alive.
             self.callback = _noop
             self.args = ()
+            if self._sim is not None:
+                self._sim._event_cancelled()
             return True
         return False
 
@@ -98,12 +108,20 @@ class Simulation:
     same instant but after already-queued same-instant events).
     """
 
+    #: never compact heaps smaller than this — rebuilding tiny heaps costs
+    #: more than lazily skipping their cancelled entries
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[EventHandle] = []
         self._running = False
         self._fired_count = 0
+        # live counters so events_pending is O(1) and the heap can be
+        # compacted once lazily-cancelled entries dominate it
+        self._pending_count = 0
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -120,8 +138,32 @@ class Simulation:
 
     @property
     def events_pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for ev in self._heap if ev.pending)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._pending_count
+
+    # ------------------------------------------------------------------
+    # internal bookkeeping (live counters + heap compaction)
+    # ------------------------------------------------------------------
+    def _event_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` while the event is in the heap."""
+        self._pending_count -= 1
+        self._cancelled_in_heap += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once cancelled entries exceed half of it.
+
+        Lazy deletion keeps :meth:`EventHandle.cancel` O(1), but a long
+        oversubscription run that cancels most of what it schedules (e.g. the
+        table5 sweep) would otherwise let dead entries dominate the heap —
+        bloating memory and slowing every push/pop by the log of the junk.
+        """
+        heap = self._heap
+        if len(heap) < self.COMPACT_MIN_SIZE or 2 * self._cancelled_in_heap <= len(heap):
+            return
+        self._heap = [ev for ev in heap if not ev._cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -142,9 +184,10 @@ class Simulation:
             )
         if not math.isfinite(time):
             raise SimulationError(f"event time must be finite (t={time!r})")
-        ev = EventHandle(time, self._seq, callback, args)
+        ev = EventHandle(time, self._seq, callback, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._pending_count += 1
         return ev
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -160,11 +203,13 @@ class Simulation:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if ev.time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue corrupted: time went backwards")
             self._now = ev.time
             ev._fired = True
+            self._pending_count -= 1
             self._fired_count += 1
             ev.callback(*ev.args)
             return True
@@ -190,6 +235,7 @@ class Simulation:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and nxt.time > until:
                     break

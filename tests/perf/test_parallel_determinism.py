@@ -1,0 +1,94 @@
+"""The perf harness's core guarantees, from ISSUE 2's acceptance criteria:
+
+* parallel execution is bit-identical to serial (deterministic seeds), and
+* a second run against the same cache is served entirely from disk while an
+  edited config (scale / seed / source fingerprint) misses.
+
+``table2`` and ``fig8`` at ``tiny`` scale are the reference experiments: one
+metric table fanned across four systems, one figure fanned across two job
+types.
+"""
+
+import io
+import contextlib
+import pickle
+
+import pytest
+
+from repro.experiments.common import SCALES
+from repro.perf import ParallelRunner, ResultCache
+
+
+def _quiet(fn, *args, **kwargs):
+    with contextlib.redirect_stdout(io.StringIO()):
+        return fn(*args, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    runner = ParallelRunner(workers=0)
+    return _quiet(runner.run_many, ["table2", "fig8"], SCALES["tiny"])
+
+
+def test_parallel_is_bit_identical_to_serial(serial_results):
+    parallel = ParallelRunner(workers=4)
+    results = _quiet(parallel.run_many, ["table2", "fig8"], SCALES["tiny"])
+    assert pickle.dumps(results) == pickle.dumps(serial_results)
+
+
+def test_single_worker_pool_is_bit_identical_to_serial(serial_results):
+    """workers=1 exercises the pickling path without concurrency."""
+    runner = ParallelRunner(workers=1)
+    results = _quiet(runner.run, "fig8", SCALES["tiny"])
+    assert pickle.dumps(results) == pickle.dumps(serial_results["fig8"])
+
+
+def test_second_run_hits_cache_and_matches(tmp_path, serial_results):
+    cache = ResultCache(tmp_path / "cache")
+    runner = ParallelRunner(workers=0, cache=cache)
+
+    first = _quiet(runner.run, "fig8", SCALES["tiny"])
+    assert runner.executed_units == 2
+    assert runner.cached_units == 0
+
+    second = _quiet(runner.run, "fig8", SCALES["tiny"])
+    assert runner.executed_units == 0
+    assert runner.cached_units == 2
+    assert pickle.dumps(second) == pickle.dumps(first)
+    # the cached path must also match the no-cache serial reference
+    assert pickle.dumps(second) == pickle.dumps(serial_results["fig8"])
+
+
+def test_edited_config_misses_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    runner = ParallelRunner(workers=0, cache=cache)
+    _quiet(runner.run, "fig8", SCALES["tiny"])
+    assert runner.executed_units == 2
+
+    # an edited config — a different seed — must re-run, not hit
+    _quiet(runner.run, "fig8", SCALES["tiny"], seed=7)
+    assert runner.executed_units == 2
+    assert runner.cached_units == 0
+
+
+def test_source_edit_invalidates_cache(tmp_path):
+    before = ParallelRunner(workers=0, cache=ResultCache(tmp_path / "cache", fingerprint="rev-a"))
+    _quiet(before.run, "fig8", SCALES["tiny"])
+    assert before.executed_units == 2
+
+    # same config, same cache dir, but the simulator source changed
+    after = ParallelRunner(workers=0, cache=ResultCache(tmp_path / "cache", fingerprint="rev-b"))
+    _quiet(after.run, "fig8", SCALES["tiny"])
+    assert after.executed_units == 2
+    assert after.cached_units == 0
+
+
+def test_display_kwargs_do_not_touch_cache_keys(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    runner = ParallelRunner(workers=0, cache=cache)
+    _quiet(runner.run, "fig8", SCALES["tiny"], show_charts=False)
+    assert runner.executed_units == 2
+    # toggling chart output must not invalidate the simulation payloads
+    _quiet(runner.run, "fig8", SCALES["tiny"], show_charts=True)
+    assert runner.executed_units == 0
+    assert runner.cached_units == 2

@@ -1,0 +1,93 @@
+"""Runner/registry plumbing tests (no heavy simulation)."""
+
+import io
+import contextlib
+
+import pytest
+
+from repro.experiments.common import SCALES
+from repro.experiments.registry import EXPERIMENTS, SPLIT_EXPERIMENTS, run_all
+from repro.perf import ParallelRunner
+from repro.perf.units import SplitExperiment
+
+
+def test_every_experiment_has_a_split():
+    assert set(SPLIT_EXPERIMENTS) == set(EXPERIMENTS)
+    for split in SPLIT_EXPERIMENTS.values():
+        assert isinstance(split, SplitExperiment)
+
+
+def test_every_split_enumerates_units():
+    sc = SCALES["tiny"]
+    expected_counts = {
+        "table1+fig1": 12,   # 3 engines × 4 jobs
+        "table2": 4,
+        "table3": 3,
+        "table4": 7,
+        "table5": 6,         # 3 ratios × 2 systems
+        "table6": 6,         # 3 settings × 2 policies
+        "fig4+fig5": 7,      # 4 TPC-H systems + 3 TPC-DS systems
+        "fig6": 3,           # bandwidths
+        "fig7+sec5.2": 3,    # variants
+        "fig8": 2,           # job types
+        "fig9": 1,
+        "fig10": 2,          # policies
+    }
+    for name, split in SPLIT_EXPERIMENTS.items():
+        keys = split.unit_keys(sc)
+        assert len(keys) == expected_counts[name], name
+        assert len(set(map(repr, keys))) == len(keys), f"{name}: duplicate unit keys"
+
+
+def test_split_kwargs_partitions_display_args():
+    split = SPLIT_EXPERIMENTS["fig8"]
+    sim, display = split.split_kwargs({"show_charts": False, "seed_offset": 3})
+    assert display == {"show_charts": False}
+    assert sim == {"seed_offset": 3}
+
+
+def test_runner_rejects_negative_workers():
+    with pytest.raises(ValueError):
+        ParallelRunner(workers=-1)
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(KeyError):
+        ParallelRunner().run("table99", SCALES["tiny"])
+
+
+def test_run_all_only_subset():
+    with contextlib.redirect_stdout(io.StringIO()) as out:
+        results = run_all("tiny", only=["fig8"])
+    assert set(results) == {"fig8"}
+    assert set(results["fig8"]) == {1, 2}
+    assert "=== fig8 ===" in out.getvalue()
+
+
+def test_run_all_rejects_unknown_only():
+    with pytest.raises(KeyError):
+        run_all("tiny", only=["nope"])
+
+
+def test_cli_list(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert set(out) == set(EXPERIMENTS)
+
+
+def test_cli_rejects_unknown_only(capsys):
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--only", "nope"])
+
+
+def test_cli_runs_single_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--only", "fig8", "--scale", "tiny"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 8" in captured.out
+    assert "suite completed" in captured.err

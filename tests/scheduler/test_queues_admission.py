@@ -183,3 +183,38 @@ def test_admission_rejects_job_larger_than_cluster():
 def test_admission_invalid_capacity():
     with pytest.raises(ValueError):
         AdmissionController(0.0, EarliestJobFirst())
+
+
+def test_queued_work_mb_incremental_tracks_contents(cluster):
+    """queued_work_mb is maintained on push/pop and agrees with a scan."""
+    jm = make_jm(cluster, sizes=(10.0, 20.0, 30.0))
+    q = MonotaskQueue(ResourceType.CPU)
+    policy = EarliestJobFirst()
+    mts = _cpu_monotasks(jm)
+    total = 0.0
+    for mt in mts:
+        q.push(policy, 0.0, jm, mt)
+        total += mt.input_size_mb
+        assert q.queued_work_mb() == pytest.approx(total)
+        assert q.queued_work_mb() == pytest.approx(
+            sum(e.mt.input_size_mb for e in q)
+        )
+    while len(q):
+        q.pop()
+        assert q.queued_work_mb() == pytest.approx(
+            sum(e.mt.input_size_mb for e in q)
+        )
+    # the total pins back to exactly 0.0 when the queue drains
+    assert q.queued_work_mb() == 0.0
+
+
+def test_queued_work_mb_zero_after_refill_and_drain(cluster):
+    jm = make_jm(cluster, sizes=(0.1, 0.2, 0.7))
+    q = MonotaskQueue(ResourceType.CPU)
+    policy = EarliestJobFirst()
+    for _round in range(3):
+        for mt in _cpu_monotasks(jm):
+            q.push(policy, 0.0, jm, mt)
+        while q.pop() is not None:
+            pass
+        assert q.queued_work_mb() == 0.0

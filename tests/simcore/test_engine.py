@@ -192,3 +192,66 @@ def test_property_cancelled_subset_never_fires(delays, data):
         handles[i].cancel()
     sim.drain()
     assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+# ----------------------------------------------------------------------
+# live pending counter + heap compaction
+# ----------------------------------------------------------------------
+def test_pending_counter_tracks_push_pop_cancel():
+    sim = Simulation()
+    assert sim.events_pending == 0
+    handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    assert sim.events_pending == 10
+    handles[3].cancel()
+    handles[7].cancel()
+    assert sim.events_pending == 8
+    # double-cancel must not decrement twice
+    handles[3].cancel()
+    assert sim.events_pending == 8
+    sim.step()
+    assert sim.events_pending == 7
+    sim.drain()
+    assert sim.events_pending == 0
+
+
+def test_pending_counter_matches_heap_scan():
+    """The O(1) counter agrees with a brute-force scan at every step."""
+    sim = Simulation()
+    handles = [sim.schedule(float(i % 7), lambda: None) for i in range(50)]
+    for i in range(0, 50, 3):
+        handles[i].cancel()
+    scan = sum(1 for ev in sim._heap if ev.pending)
+    assert sim.events_pending == scan
+    while sim.step():
+        scan = sum(1 for ev in sim._heap if ev.pending)
+        assert sim.events_pending == scan
+
+
+def test_heap_compaction_evicts_cancelled_majority():
+    sim = Simulation()
+    n = 4 * Simulation.COMPACT_MIN_SIZE
+    handles = [sim.schedule(float(i), lambda: None) for i in range(n)]
+    assert len(sim._heap) == n
+    # cancel just over half: the compactor must kick in and drop them
+    for h in handles[: n // 2 + 1]:
+        h.cancel()
+    assert len(sim._heap) == n - (n // 2 + 1)
+    assert sim.events_pending == len(sim._heap)
+    # the survivors still fire, in order
+    fired = []
+    for h in handles[n // 2 + 1:]:
+        h.callback = fired.append
+        h.args = (h.time,)
+    sim.drain()
+    assert fired == sorted(fired)
+    assert len(fired) == n - (n // 2 + 1)
+
+
+def test_small_heaps_are_not_compacted():
+    sim = Simulation()
+    handles = [sim.schedule(float(i), lambda: None) for i in range(10)]
+    for h in handles[:9]:
+        h.cancel()
+    # under COMPACT_MIN_SIZE the cancelled entries stay (lazy deletion)
+    assert len(sim._heap) == 10
+    assert sim.events_pending == 1
