@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline
+.PHONY: test bench bench-smoke bench-baseline bench-sim profile
 
 test:
 	$(PY) -m pytest -x -q
@@ -21,3 +21,13 @@ bench-smoke:
 # Regenerate BENCH_harness.json (serial vs parallel vs cached suite time).
 bench-baseline:
 	$(PY) scripts/bench_harness.py --scale bench --out BENCH_harness.json
+
+# Regenerate BENCH_sim.json (single-simulation wall time, optimized tick vs
+# legacy tick; fails if the two modes' metrics are not bit-identical).
+bench-sim:
+	$(PY) scripts/bench_sim.py --out BENCH_sim.json
+
+# Profile the scheduling-tick hot path on a small experiment and print the
+# per-phase tick counter report.
+profile:
+	$(PY) -m repro.experiments --profile --only fig7 --scale tiny

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Measure single-simulation wall time: optimized tick vs the legacy tick.
+
+One fixed, mid-size synthetic workload (setting-1 Type-1 jobs on the bench
+cluster) is run to completion through ``UrsaSystem`` twice per repeat —
+once with the PR-3 fast-path scheduler and once with ``legacy_tick=True``
+(the frozen pre-change placement + forced per-tick resort + unmemoized
+SRJF).  The best-of-N wall times give the speedup; the run also asserts
+that both modes produce pickle-identical metrics, so the speedup is never
+bought with a behavior change.
+
+Writes a JSON baseline (default ``BENCH_sim.json``)::
+
+    PYTHONPATH=src python scripts/bench_sim.py
+    PYTHONPATH=src python scripts/bench_sim.py --repeats 5 --n-jobs 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def _run_once(n_jobs: int, legacy: bool, profiled: bool = False) -> tuple[bytes, float, dict]:
+    """One full simulation; returns (metrics bytes, wall seconds, profile).
+
+    Timed repeats run *unprofiled*: the legacy placement carries no counter
+    branches, so enabling the profiler would slow only the optimized side
+    and understate the speedup.  The per-phase counters in the baseline
+    come from one extra untimed profiled run.
+    """
+    from repro.cluster import Cluster
+    from repro.experiments.common import SCALES
+    from repro.experiments.fig8_fig9_fig10_synthetic import params_for
+    from repro.metrics import compute_metrics
+    from repro.perf import profile as tick_profile
+    from repro.scheduler import UrsaConfig, UrsaSystem
+    from repro.workloads import submit_workload, synthetic_setting1
+
+    sc = SCALES["bench"]
+    cluster = Cluster(sc.cluster)
+    system = UrsaSystem(
+        cluster,
+        UrsaConfig(policy="ejf", policy_weight=5.0, legacy_tick=legacy),
+    )
+    workload = synthetic_setting1(params_for(sc), n_jobs=n_jobs)
+    submit_workload(system, workload, seed=1)
+
+    prof = tick_profile.enable() if profiled else None
+    try:
+        start = time.perf_counter()
+        system.run(max_events=sc.max_events)
+        elapsed = time.perf_counter() - start
+    finally:
+        if profiled:
+            tick_profile.disable()
+    if not system.all_done:
+        raise RuntimeError("bench_sim workload did not finish")
+    metrics = pickle.dumps(compute_metrics(system))
+    return metrics, elapsed, prof.as_dict() if prof is not None else {}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N (default 3)")
+    parser.add_argument("--n-jobs", type=int, default=8, help="workload size (default 8)")
+    parser.add_argument("--out", default="BENCH_sim.json")
+    args = parser.parse_args(argv)
+
+    print(f"bench_sim: synthetic setting-1, n_jobs={args.n_jobs}, "
+          f"best of {args.repeats}", file=sys.stderr)
+
+    optimized: list[float] = []
+    legacy: list[float] = []
+    metrics_opt = metrics_leg = None
+    for rep in range(args.repeats):
+        metrics_opt, t_opt, _ = _run_once(args.n_jobs, legacy=False)
+        metrics_leg, t_leg, _ = _run_once(args.n_jobs, legacy=True)
+        optimized.append(t_opt)
+        legacy.append(t_leg)
+        print(f"  repeat {rep}: optimized {t_opt:6.2f} s   legacy {t_leg:6.2f} s",
+              file=sys.stderr)
+
+    # one extra (untimed) profiled run supplies the per-phase counters and
+    # doubles as the profiled-run-is-identical check
+    metrics_profiled, _, prof_opt = _run_once(args.n_jobs, legacy=False, profiled=True)
+    identical = metrics_opt == metrics_leg == metrics_profiled
+    best_opt, best_leg = min(optimized), min(legacy)
+    speedup = best_leg / best_opt if best_opt else None
+
+    baseline = {
+        "benchmark": "single-simulation wall time (optimized tick vs legacy tick)",
+        "workload": f"synthetic setting-1, {args.n_jobs} Type-1 jobs, bench cluster, ejf",
+        "repeats": args.repeats,
+        "profile_optimized": prof_opt,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "optimized_s": [round(t, 2) for t in optimized],
+        "legacy_s": [round(t, 2) for t in legacy],
+        "optimized_best_s": round(best_opt, 2),
+        "legacy_best_s": round(best_leg, 2),
+        "speedup": round(speedup, 2) if speedup else None,
+        "metrics_bit_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"speedup {speedup:.2f}x (identical metrics: {identical}); "
+          f"wrote {args.out}", file=sys.stderr)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

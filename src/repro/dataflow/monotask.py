@@ -103,8 +103,9 @@ class Task:
     __slots__ = (
         "task_id", "monotasks", "stage", "parents", "children",
         "state", "worker", "locality", "est_cpu_mb", "est_net_mb",
-        "est_disk_mb", "est_mem_mb", "remaining_parents", "remaining_monotasks",
-        "ready_at", "placed_at", "finished_at",
+        "est_disk_mb", "est_mem_mb", "sched_usage", "_input_mb",
+        "remaining_parents", "remaining_monotasks", "ready_at", "placed_at",
+        "finished_at",
     )
 
     def __init__(self, task_id: int, monotasks: list[Monotask]):
@@ -122,6 +123,11 @@ class Task:
         self.est_net_mb = 0.0
         self.est_disk_mb = 0.0
         self.est_mem_mb = 0.0
+        # (cpu, net, disk) usage tuple the placement loop scores with; the
+        # estimates above are frozen when the task becomes ready, so the
+        # scheduler resolves this once per task instead of once per round
+        self.sched_usage: Optional[tuple] = None
+        self._input_mb: Optional[float] = None
         self.remaining_parents = 0
         self.remaining_monotasks = len(monotasks)
         self.ready_at: Optional[float] = None
@@ -138,8 +144,17 @@ class Task:
 
     def input_size_mb(self) -> float:
         """Total bytes entering the task (drives size-ordered queueing and
-        the memory estimate's `I(t)` in §4.2.1)."""
-        return sum(m.input_size_mb for m in self.monotasks if m.is_task_source)
+        the memory estimate's `I(t)` in §4.2.1).
+
+        Memoized: callers only ask once the JM has resolved the source
+        monotasks' input sizes (at readiness), after which they are fixed —
+        and the JM re-sums the whole ready set at every readiness wave.
+        """
+        v = self._input_mb
+        if v is None:
+            v = sum(m.input_size_mb for m in self.monotasks if m.is_task_source)
+            self._input_mb = v
+        return v
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Task({self.task_id}, |m|={len(self.monotasks)}, {self.state.value})"

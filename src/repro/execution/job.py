@@ -46,6 +46,9 @@ class Job:
         # ordering").  Initialized from the static size propagation ("based
         # on historical information") and decremented as monotasks finish.
         self.remaining_work: dict[ResourceType, float] = static_size_totals(graph)
+        # Bumped on every remaining-work decrement; SRJF keys its memoized
+        # per-job dot product on this, so a cache hit is always exact.
+        self.work_version = 0
         self.tasks_done = 0
         self.cpu_seconds_used = 0.0
         # Ratio of a task's true memory footprint to its estimate; < 1 models
@@ -73,6 +76,7 @@ class Job:
 
     def decrement_remaining(self, rtype: ResourceType, amount: float) -> None:
         self.remaining_work[rtype] = max(0.0, self.remaining_work[rtype] - amount)
+        self.work_version += 1
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Job({self.job_id}:{self.name}, {self.state.value})"

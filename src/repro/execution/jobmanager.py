@@ -70,7 +70,9 @@ class JobManager:
         self.reserve_task_memory = reserve_task_memory
         self.reserve_cpu_cores = reserve_cpu_cores
         self._jps: dict[int, JobProcess] = {}
-        self.ready_tasks: list[Task] = []
+        # insertion-ordered so readiness-order float sums keep their exact
+        # reduction order; dict-keyed so place_task's removal is O(1)
+        self.ready_tasks: dict[Task, None] = {}
 
         for handle in job.graph.datasets:
             if handle.is_input:
@@ -103,7 +105,7 @@ class JobManager:
             task.state = TaskState.READY
             task.ready_at = self.sim.now
             self._resolve_task_inputs(task)
-            self.ready_tasks.append(task)
+            self.ready_tasks[task] = None
         # memory estimates depend on the full ready set (the ratio r)
         ready_input_total = sum(t.input_size_mb() for t in self.ready_tasks)
         for task in tasks:
@@ -222,7 +224,7 @@ class JobManager:
         task.state = TaskState.PLACED
         task.worker = worker
         task.placed_at = self.sim.now
-        self.ready_tasks.remove(task)
+        del self.ready_tasks[task]
         for mt in task.source_monotasks:
             mt.state = MonotaskState.READY
             self.backend.enqueue_monotask(self, mt)

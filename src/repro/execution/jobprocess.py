@@ -116,15 +116,20 @@ class JobProcess:
 
     def _gather_shards(self, mt: Monotask) -> Any:
         op = mt.head_op
+        idx = mt.partition_index
+        # same-package fast path over metadata.get()/shard_payload(): this
+        # scans every source partition for every network monotask, and most
+        # workloads carry no real payloads at all
+        records = self.jm.metadata._records
         items: list = []
         real = False
         for h in op.reads:
+            did = h.data_id
             for i in range(h.num_partitions):
-                rec = self.jm.metadata.get(h, i)
-                shard = rec.shard_payload(mt.partition_index)
-                if shard is not None:
+                payload = records[(did, i)].payload
+                if isinstance(payload, dict):
                     real = True
-                    items.extend(shard)
+                    items.extend(payload.get(idx, ()))
         return items if real else None
 
     def _run_disk(self, mt: Monotask, on_done: DoneCallback) -> None:

@@ -142,11 +142,25 @@ class MetadataStore:
         dataset.  External-input partitions count as remote reads from a
         round-robin 'HDFS' node."""
         num_shards = net_op.parallelism
+        weights = net_op.shard_weights
+        # hoisted out of the per-partition loop (this runs once per source
+        # partition per output partition — quadratic in stage width); the
+        # arithmetic below matches PartitionRecord.shard_size exactly
+        total_w = sum(weights) if weights is not None else None
+        records = self._records
         sources: list[tuple[int, float]] = []
+        append = sources.append
         for handle in net_op.reads:
+            did = handle.data_id
             for i in range(handle.num_partitions):
-                rec = self.get(handle, i)
-                size = rec.shard_size(out_partition, num_shards, net_op.shard_weights)
-                loc = rec.location if rec.location is not None else (i % num_machines)
-                sources.append((loc, size))
+                rec = records[(did, i)]
+                ss = rec.shard_sizes
+                if ss is not None:
+                    size = ss.get(out_partition, 0.0)
+                elif weights is not None:
+                    size = rec.size_mb * weights[out_partition] / total_w
+                else:
+                    size = rec.size_mb / num_shards
+                loc = rec.location
+                append((i % num_machines if loc is None else loc, size))
         return sources

@@ -11,6 +11,9 @@ Examples::
     # list what can run / run a subset
     python -m repro.experiments --list
     python -m repro.experiments --only table2 --only fig8 --scale tiny
+
+    # profile the scheduling-tick hot path (forces serial execution)
+    python -m repro.experiments --profile --only fig7 --scale tiny
 """
 
 from __future__ import annotations
@@ -19,10 +22,23 @@ import argparse
 import sys
 import time
 
+from ..perf import profile as tick_profile
 from ..perf.cache import ResultCache
 from ..perf.runner import ParallelRunner, default_workers
 from .common import SCALES
 from .registry import EXPERIMENTS, run_all
+
+
+def resolve_experiment_name(name: str) -> str | None:
+    """Resolve a (possibly abbreviated) experiment name.
+
+    Exact names win; otherwise a *unique* prefix is accepted, so ``fig7``
+    resolves to ``fig7+sec5.2`` while an ambiguous ``fig`` stays unknown.
+    """
+    if name in EXPERIMENTS:
+        return name
+    matches = [known for known in EXPERIMENTS if known.startswith(name)]
+    return matches[0] if len(matches) == 1 else None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,9 +61,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--only", action="append", default=None, metavar="NAME",
-        help="run only this experiment (repeatable; also accepts comma-separated lists)",
+        help="run only this experiment (repeatable; also accepts comma-separated "
+             "lists and unique prefixes, e.g. fig7)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the scheduling-tick hot path and print per-phase "
+             "counters (forces serial in-process execution)",
+    )
     parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiment names and exit",
@@ -61,10 +83,13 @@ def main(argv: list[str] | None = None) -> int:
 
     only = None
     if args.only:
-        only = [name for group in args.only for name in group.split(",") if name]
-        if not only:
+        requested = [name for group in args.only for name in group.split(",") if name]
+        if not requested:
             parser.error("--only given but no experiment names; see --list")
-        unknown = [n for n in only if n not in EXPERIMENTS]
+        only, unknown = [], []
+        for name in requested:
+            resolved = resolve_experiment_name(name)
+            (only.append(resolved) if resolved else unknown.append(name))
         if unknown:
             parser.error(f"unknown experiments {unknown}; see --list")
 
@@ -77,17 +102,29 @@ def main(argv: list[str] | None = None) -> int:
     else:
         parser.error("--parallel must be >= 0")
 
+    if args.profile and workers:
+        # pool workers would profile into their own processes and the
+        # parent's counters would stay empty — force the serial path
+        parser.error("--profile requires serial execution; omit --parallel")
+
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ParallelRunner(workers=workers, cache=cache)
 
+    prof = tick_profile.enable() if args.profile else None
     start = time.perf_counter()
-    run_all(args.scale, only=only, seed=args.seed, runner=runner)
+    try:
+        run_all(args.scale, only=only, seed=args.seed, runner=runner)
+    finally:
+        if args.profile:
+            tick_profile.disable()
     elapsed = time.perf_counter() - start
     mode = f"{workers} workers" if workers else "serial"
     summary = f"[{mode}] suite completed in {elapsed:.1f} s"
     if cache is not None:
         summary += f" ({runner.executed_units} units executed, {runner.cached_units} from cache)"
     print(f"\n{summary}", file=sys.stderr)
+    if prof is not None:
+        print(f"\n{prof.report()}")
     return 0
 
 

@@ -19,6 +19,9 @@ units across a :class:`~concurrent.futures.ProcessPoolExecutor`:
 
 ``workers=0`` (the default) executes in-process with no pool: that is the
 reference serial path, and what the determinism tests compare against.
+``workers=1`` routes through the same in-process path — a single-worker
+pool is strictly slower (spawn + pickling, no overlap) and produces the
+same bytes.
 """
 
 from __future__ import annotations
@@ -34,8 +37,14 @@ __all__ = ["ParallelRunner", "default_workers"]
 
 
 def default_workers() -> int:
-    """Worker count used for ``--parallel 0``-style "auto" requests."""
-    return max(1, os.cpu_count() or 1)
+    """Worker count used for ``--parallel 0``-style "auto" requests.
+
+    On a single-core machine a process pool is pure overhead (the measured
+    0.94× "speedup" in ``BENCH_harness.json``), so auto-detection returns
+    ``0`` there: the serial in-process path.
+    """
+    n = os.cpu_count() or 1
+    return n if n > 1 else 0
 
 
 def _split_registry():
@@ -76,8 +85,9 @@ class ParallelRunner:
 
     Args:
         workers: process count.  ``0`` → run in-process (serial reference
-            path); ``1`` still uses a single-process pool (exercises the
-            pickling path); ``N`` fans out.
+            path); ``1`` also runs in-process — a one-worker pool pays
+            process spawn plus pickling for zero concurrency and is
+            strictly slower than serial; ``N ≥ 2`` fans out.
         cache: optional :class:`ResultCache`; hits skip execution entirely.
     """
 
@@ -159,7 +169,11 @@ class ParallelRunner:
         if not to_run:
             return payloads
 
-        if self.workers == 0:
+        if self.workers <= 1:
+            # workers == 1 is deliberately routed through the serial path:
+            # the in-process pickle round-trip in _run_and_store keeps the
+            # payloads byte-identical to what a pool worker would return,
+            # without paying for a pool that cannot overlap anything.
             for spec in to_run:
                 payloads[id(spec)] = self._run_and_store(sc, spec)
             return payloads

@@ -4,6 +4,7 @@ from .admission import AdmissionController
 from .ordering import EarliestJobFirst, SchedulingPolicy, SmallestRemainingJobFirst
 from .placement import Assignment, PlacementPolicy, ReadyStage, UrsaPlacement
 from .queues import MonotaskQueue, QueueEntry
+from .reference import ReferenceUrsaPlacement
 from .ursa import UrsaConfig, UrsaSystem
 from .worker import Worker, WorkerConfig
 
@@ -16,6 +17,7 @@ __all__ = [
     "PlacementPolicy",
     "ReadyStage",
     "UrsaPlacement",
+    "ReferenceUrsaPlacement",
     "MonotaskQueue",
     "QueueEntry",
     "UrsaConfig",

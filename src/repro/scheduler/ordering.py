@@ -33,6 +33,10 @@ class SchedulingPolicy:
     """Interface: rank jobs (lower = more urgent) and weight stage scores."""
 
     name = "base"
+    #: True when a job's rank can change between two refreshes (e.g. SRJF,
+    #: whose rank tracks remaining work).  Statically-ranked policies let
+    #: the scheduler skip the per-tick worker-queue resort entirely.
+    dynamic_rank = False
 
     def __init__(self, weight: float = 0.05):
         # W in the paper: "a weight that indicates how much EJF should be
@@ -69,12 +73,17 @@ class SmallestRemainingJobFirst(SchedulingPolicy):
     """SRJF over the per-resource remaining-work vector R (§4.2.2)."""
 
     name = "srjf"
+    dynamic_rank = True
 
-    def __init__(self, weight: float = 0.05, bonus_cap: float = 200.0):
+    def __init__(self, weight: float = 0.05, bonus_cap: float = 200.0,
+                 memoize: bool = True):
         super().__init__(weight)
         self.bonus_cap = bonus_cap
+        self.memoize = memoize
         self._load: dict[ResourceType, float] = {r: 0.0 for r in _RES}
         self._total_load = 0.0
+        # job_id -> (job.work_version, dot); valid within one refresh
+        self._dot_cache: dict[int, tuple[int, float]] = {}
 
     def refresh(self, jobs: Iterable[Job], now: float) -> None:
         load = {r: 0.0 for r in _RES}
@@ -83,9 +92,21 @@ class SmallestRemainingJobFirst(SchedulingPolicy):
                 load[r] += job.remaining_work.get(r, 0.0)
         self._load = load
         self._total_load = sum(load.values())
+        self._dot_cache.clear()
 
     def _dot(self, job: Job) -> float:
-        """Σ_r (2L_r − R_r) · R_r / L_r — small when the job is nearly done."""
+        """Σ_r (2L_r − R_r) · R_r / L_r — small when the job is nearly done.
+
+        ``job_rank`` and ``placement_bonus`` both call this, for every queue
+        entry on every resort and for every stage score of a placement
+        round, so the value is memoized per refresh.  The cache entry is
+        keyed by ``job.work_version`` (bumped whenever remaining work is
+        decremented), so a hit is exactly the value a recompute would give.
+        """
+        if self.memoize:
+            cached = self._dot_cache.get(job.job_id)
+            if cached is not None and cached[0] == job.work_version:
+                return cached[1]
         total = 0.0
         for r in _RES:
             big_l = self._load[r]
@@ -93,6 +114,8 @@ class SmallestRemainingJobFirst(SchedulingPolicy):
             if big_l <= _EPS:
                 continue
             total += (2.0 * big_l - rem) * rem / big_l
+        if self.memoize:
+            self._dot_cache[job.job_id] = (job.work_version, total)
         return total
 
     def job_rank(self, job: Job, now: float) -> float:

@@ -20,12 +20,34 @@ Whole stages are scored and placed together — a large ``stage_bonus`` makes
 fully-placeable stages win over partial plans, which avoids manufacturing
 stragglers that would block dependent stages (§5.2 ablates this).
 
-Implementation note: stage selection uses lazy re-evaluation on a max-heap.
-Within one placement round every commit can only *shrink* worker headroom,
-so stage scores are monotonically non-increasing; popping the stale maximum
-and re-scoring it fresh therefore selects exactly the stage Algorithm 1's
-quadratic loop would, at a fraction of the cost (the placement loop runs at
-every scheduling interval and dominated scheduler wall time before this).
+Implementation notes (the placement loop runs at every scheduling interval
+and dominated scheduler wall time):
+
+* Stage selection uses lazy re-evaluation on a max-heap.  Within one
+  placement round every commit can only *shrink* worker headroom, so stage
+  scores are monotonically non-increasing; popping the stale maximum and
+  re-scoring it fresh selects exactly the stage Algorithm 1's quadratic
+  loop would, at a fraction of the cost.
+* Tentative stage scoring undoes its commits with a *dirty set*: only the
+  views a tentative plan actually touched are snapshotted (on first touch)
+  and restored, instead of snapshot/restoring every worker per candidate
+  stage.
+* A heap entry whose generation still matches the commit counter was scored
+  against the current view state, so its stored plan is committed without a
+  redundant rescore (every round's first selection hits this).
+* Per-task ``(cpu, net, disk)`` usage tuples are resolved once per task
+  (``Task.sched_usage``): the estimates they derive from are frozen when
+  the task becomes ready, and the same task is re-scored many times across
+  rounds while it waits for headroom.
+* The scoring loop is inlined into :meth:`UrsaPlacement._stage_score` /
+  :meth:`UrsaPlacement._best_worker` and prunes candidates with the
+  cheapest checks first (memory fit, then the zero-headroom blocking rule
+  per needed resource), so infeasible workers cost a comparison or two
+  instead of a full ``F(t, w)`` evaluation.
+
+All of this is float-for-float identical to the straightforward
+implementation kept in :mod:`repro.scheduler.reference` — the
+``tests/perf`` determinism suite pins that equivalence end-to-end.
 """
 
 from __future__ import annotations
@@ -35,6 +57,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Stage, Task
+from ..perf import profile as _profile
 from .ordering import SchedulingPolicy
 from .worker import Worker
 
@@ -45,6 +68,7 @@ __all__ = ["Assignment", "PlacementPolicy", "ReadyStage", "UrsaPlacement"]
 
 _FLUID = (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK)
 _CPU, _NET, _DISK = 0, 1, 2
+_NEG_INF = float("-inf")
 
 
 class Assignment:
@@ -133,45 +157,81 @@ class UrsaPlacement(PlacementPolicy):
         self.stage_bonus = stage_bonus
         self.stage_aware = stage_aware
         self.ignore_network = ignore_network
+        # per-round scratch state (valid only inside one place() call)
+        self._touched: dict[_WorkerView, tuple] = {}
+        self._prof = None
 
     # ------------------------------------------------------------------
     def place(self, ready, workers, now, job_policy) -> list[Assignment]:
         views = [_WorkerView(w, i, self.ept) for i, w in enumerate(workers)]
-        if self.stage_aware:
-            return self._place_by_stage(ready, views, now, job_policy)
-        return self._place_by_task(ready, views, now, job_policy)
+        self._prof = _profile.PROFILER
+        try:
+            if self.stage_aware:
+                return self._place_by_stage(ready, views, now, job_policy)
+            return self._place_by_task(ready, views, now, job_policy)
+        finally:
+            self._prof = None
+
+    def _usage(self, task: Task) -> tuple[float, float, float]:
+        # est_* are frozen when the task becomes ready (before it is ever
+        # scored), so the tuple is resolved once per task, not per round
+        u = task.sched_usage
+        if u is None:
+            u = (
+                task.est_cpu_mb,
+                0.0 if self.ignore_network else task.est_net_mb,
+                task.est_disk_mb,
+            )
+            task.sched_usage = u
+        return u
 
     # ------------------------------------------------------------------
     def _place_by_stage(self, ready, views, now, job_policy) -> list[Assignment]:
         assignments: list[Assignment] = []
         pending = [rs for rs in ready if rs.tasks]
-        # lazy-greedy max-heap of (-score, tiebreak, stage)
-        heap: list[tuple[float, int, ReadyStage]] = []
+        prof = self._prof
+        # Lazy-greedy max-heap of (-score, tiebreak, stage, scored, plan,
+        # gen).  `gen` counts permanent commits: an entry whose gen still
+        # matches was scored against the *current* view state, so its stored
+        # score and plan are exactly what a fresh rescore would produce and
+        # can be committed without re-scoring.
+        gen = 0
+        heap: list = []
         for seq, rs in enumerate(pending):
-            score, plan = self._stage_score_tentative(rs.tasks, views)
+            # per-stage (task, usage, mem) tuples, resolved once per round:
+            # the same stage is re-scored many times as the heap re-evaluates
+            scored = [(t, self._usage(t), t.est_mem_mb) for t in rs.tasks]
+            score, plan = self._stage_score_tentative(scored, views)
             if not plan:
                 continue
             score += job_policy.placement_bonus(rs.jm.job, now)
-            heapq.heappush(heap, (-score, seq, rs))
+            heapq.heappush(heap, (-score, seq, rs, scored, plan, gen))
         seq = len(pending)
         while heap:
-            neg_stale, _sq, rs = heapq.heappop(heap)
+            neg_stale, _sq, rs, scored, plan, g = heapq.heappop(heap)
             if not rs.tasks:
                 continue
-            score, plan = self._stage_score_tentative(rs.tasks, views)
-            if not plan:
-                continue  # headroom only shrinks within a round: drop
-            score += job_policy.placement_bonus(rs.jm.job, now)
-            if heap and -heap[0][0] > score + 1e-12:
-                # stale top: push back with the fresh score and retry
-                seq += 1
-                heapq.heappush(heap, (-score, seq, rs))
-                continue
+            if g != gen:
+                score, plan = self._stage_score_tentative(scored, views)
+                if not plan:
+                    continue  # headroom only shrinks within a round: drop
+                score += job_policy.placement_bonus(rs.jm.job, now)
+                if heap and -heap[0][0] > score + 1e-12:
+                    # stale top: push back with the fresh score and retry
+                    seq += 1
+                    heapq.heappush(heap, (-score, seq, rs, scored, plan, gen))
+                    if prof is not None:
+                        prof.heap_repushes += 1
+                    continue
+            # else: no commit since this entry was scored — the stored plan
+            # is fresh, and the heap property guarantees every remaining
+            # stale score (an upper bound on its fresh score) is <= ours
             placed_ids = set()
-            for task, widx in plan:
-                self._commit(views[widx], task)
+            for task, usage, mem, widx in plan:
+                self._commit(views[widx], usage, mem)
                 assignments.append(Assignment(rs.jm, task, widx))
                 placed_ids.add(task.task_id)
+            gen += 1
             rs.tasks = [t for t in rs.tasks if t.task_id not in placed_ids]
             if rs.tasks:
                 # the leftover was unplaceable with shrunken headroom; it
@@ -180,51 +240,137 @@ class UrsaPlacement(PlacementPolicy):
         return assignments
 
     def _place_by_task(self, ready, views, now, job_policy) -> list[Assignment]:
-        """Fig-7 ablation: greedily place single highest-score tasks."""
+        """Fig-7 ablation: greedily place single highest-score tasks.
+
+        The reference loop re-scores the whole pool for every placement
+        (O(P²·W)); scores only shrink as headroom is committed, so the same
+        lazy max-heap trick applies.  Ties are resolved exactly as the
+        reference's first-strict-maximum scan does — by original pool
+        position — so entries keep their enumeration index on re-push and
+        the acceptance test compares full (score, seq) keys.
+        """
         assignments: list[Assignment] = []
-        pool: list[tuple["JobManager", Task]] = [
-            (rs.jm, t) for rs in ready for t in rs.tasks
-        ]
-        while pool:
-            best = None
-            best_score = float("-inf")
-            for i, (jm, task) in enumerate(pool):
-                widx, score = self._best_worker(task, views)
-                if widx is None:
-                    continue
-                score += job_policy.placement_bonus(jm.job, now)
-                if score > best_score:
-                    best_score, best = score, (i, widx)
-            if best is None:
-                break
-            i, widx = best
-            jm, task = pool.pop(i)
-            self._commit(views[widx], task)
+        prof = self._prof
+        heap: list = []
+        pool = [(rs.jm, t) for rs in ready for t in rs.tasks]
+        for seq, (jm, task) in enumerate(pool):
+            widx, f = self._best_worker(task, views)
+            if widx is None:
+                continue
+            score = f + job_policy.placement_bonus(jm.job, now)
+            heap.append((-score, seq, jm, task))
+        heapq.heapify(heap)
+        while heap:
+            neg_stale, seq, jm, task = heapq.heappop(heap)
+            widx, f = self._best_worker(task, views)
+            if widx is None:
+                continue  # headroom only shrinks: never feasible again
+            score = f + job_policy.placement_bonus(jm.job, now)
+            if heap and (heap[0][0], heap[0][1]) < (-score, seq):
+                # a stale competitor might still beat us (or win the
+                # pool-order tie): re-evaluate it first
+                heapq.heappush(heap, (-score, seq, jm, task))
+                if prof is not None:
+                    prof.heap_repushes += 1
+                continue
+            self._commit(views[widx], self._usage(task), task.est_mem_mb)
             assignments.append(Assignment(jm, task, widx))
         return assignments
 
     # ------------------------------------------------------------------
-    # Algorithm 1's StageScore (on a tentative copy of the views)
+    # Algorithm 1's StageScore (tentative commits undone via the dirty set)
     # ------------------------------------------------------------------
-    def _stage_score_tentative(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
-        snaps = [v.snapshot() for v in views]
-        result = self._stage_score(tasks, views)
-        for v, s in zip(views, snaps):
-            v.restore(s)
+    def _stage_score_tentative(self, scored, views) -> tuple[float, list]:
+        touched = self._touched
+        result = self._stage_score(scored, views, touched)
+        for view, snap in touched.items():
+            view.d[0], view.d[1], view.d[2], view.mem_available = snap
+        touched.clear()
         return result
 
-    def _stage_score(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
-        plan: list[tuple[Task, int]] = []
+    def _stage_score(self, scored, views, touched=None) -> tuple[float, list]:
+        """Score one stage; returns (score, plan of (task, usage, mem, widx)).
+
+        The best-worker search is inlined (this plus _best_worker is the
+        innermost scheduler loop); term order matches the reference
+        implementation exactly, so all floats are bit-identical.
+        """
+        prof = self._prof
+        scanned = 0
+        plan: list = []
         score = 0.0
         stage_bonus = self.stage_bonus
-        for task in tasks:
-            widx, f = self._best_worker(task, views)
-            if widx is None:
+        for task, usage, mem in scored:
+            u_cpu, u_net, u_disk = usage
+            if task.locality is None:
+                candidates = views
+            else:
+                candidates = (views[task.locality],)
+            scanned += len(candidates)
+            best_view: Optional[_WorkerView] = None
+            best_f = _NEG_INF
+            for view in candidates:
+                if mem > view.mem_available + 1e-9:
+                    continue
+                d = view.d
+                inv = view.inv_rate_ept
+                f = 0.0
+                if u_cpu > 0.0:
+                    dr = d[0]
+                    if dr <= 0.0:
+                        continue  # blocking rule: zero headroom, work needed
+                    inc = u_cpu * inv[0]
+                    if inc > dr:
+                        inc = dr  # availability caps the contribution
+                    f += dr * inc
+                if u_net > 0.0:
+                    dr = d[1]
+                    if dr <= 0.0:
+                        continue
+                    inc = u_net * inv[1]
+                    if inc > dr:
+                        inc = dr
+                    f += dr * inc
+                if u_disk > 0.0:
+                    dr = d[2]
+                    if dr <= 0.0:
+                        continue
+                    inc = u_disk * inv[2]
+                    if inc > dr:
+                        inc = dr
+                    f += dr * inc
+                if mem > 0.0:
+                    d_mem = view.mem_available / view.mem_capacity
+                    if d_mem <= 0.0:
+                        continue
+                    inc_mem = mem / view.mem_capacity
+                    f += d_mem * (inc_mem if inc_mem <= d_mem else d_mem)
+                if f > best_f:
+                    best_f, best_view = f, view
+            if best_view is None:
                 stage_bonus = 0.0
             else:
-                plan.append((task, widx))
-                self._commit(views[widx], task)
-                score += f
+                plan.append((task, usage, mem, best_view.index))
+                # inlined _commit (same ops in the same order)
+                bd = best_view.d
+                if touched is not None and best_view not in touched:
+                    touched[best_view] = (bd[0], bd[1], bd[2], best_view.mem_available)
+                binv = best_view.inv_rate_ept
+                if u_cpu > 0.0:
+                    nd = bd[0] - u_cpu * binv[0]
+                    bd[0] = nd if nd > 0.0 else 0.0
+                if u_net > 0.0:
+                    nd = bd[1] - u_net * binv[1]
+                    bd[1] = nd if nd > 0.0 else 0.0
+                if u_disk > 0.0:
+                    nd = bd[2] - u_disk * binv[2]
+                    bd[2] = nd if nd > 0.0 else 0.0
+                best_view.mem_available -= mem
+                score += best_f
+        if prof is not None:
+            prof.stages_scored += 1
+            prof.tasks_scored += len(scored)
+            prof.workers_scanned += scanned
         if not plan:
             return (0.0, [])
         return (score / len(plan) + stage_bonus, plan)
@@ -234,18 +380,64 @@ class UrsaPlacement(PlacementPolicy):
             candidates = (views[task.locality],)
         else:
             candidates = views
-        usage = _task_usage(task, self.ignore_network)
+        u_cpu, u_net, u_disk = self._usage(task)
+        mem = task.est_mem_mb
+        prof = self._prof
+        if prof is not None:
+            prof.tasks_scored += 1
+            prof.workers_scanned += len(candidates)
         best_view: Optional[_WorkerView] = None
-        best_f = float("-inf")
+        best_f = _NEG_INF
+        # Inlined F(t, w) over all candidates: the cheap feasibility checks
+        # (memory fit, zero-headroom blocking rule) prune a worker before any
+        # scoring arithmetic runs.  Term order matches _score exactly so the
+        # computed floats are bit-identical to the reference path.
         for view in candidates:
-            f = self._score(task, usage, view)
-            if f is not None and f > best_f:
+            if mem > view.mem_available + 1e-9:
+                continue
+            d = view.d
+            inv = view.inv_rate_ept
+            f = 0.0
+            if u_cpu > 0.0:
+                dr = d[0]
+                if dr <= 0.0:
+                    continue  # blocking rule: needed resource, zero headroom
+                inc = u_cpu * inv[0]
+                if inc > dr:
+                    inc = dr  # availability caps the contribution
+                f += dr * inc
+            if u_net > 0.0:
+                dr = d[1]
+                if dr <= 0.0:
+                    continue
+                inc = u_net * inv[1]
+                if inc > dr:
+                    inc = dr
+                f += dr * inc
+            if u_disk > 0.0:
+                dr = d[2]
+                if dr <= 0.0:
+                    continue
+                inc = u_disk * inv[2]
+                if inc > dr:
+                    inc = dr
+                f += dr * inc
+            if mem > 0.0:
+                d_mem = view.mem_available / view.mem_capacity
+                if d_mem <= 0.0:
+                    continue
+                inc_mem = mem / view.mem_capacity
+                f += d_mem * (inc_mem if inc_mem <= d_mem else d_mem)
+            if f > best_f:
                 best_f, best_view = f, view
         if best_view is None:
             return None, 0.0
         return best_view.index, best_f
 
     def _score(self, task: Task, usage, view: _WorkerView) -> Optional[float]:
+        """Reference scoring of one (task, worker) pair — kept for tests and
+        the brute-force reference; the hot path inlines this into
+        :meth:`_best_worker`."""
         mem = task.est_mem_mb
         if mem > view.mem_available + 1e-9:
             return None
@@ -272,12 +464,14 @@ class UrsaPlacement(PlacementPolicy):
             f += d_mem * min(inc_mem, d_mem)
         return f
 
-    def _commit(self, view: _WorkerView, task: Task) -> None:
-        usage = _task_usage(task, self.ignore_network)
+    def _commit(self, view: _WorkerView, usage, mem: float, touched=None) -> None:
+        if touched is not None and view not in touched:
+            # dirty-set undo: snapshot a view once, on first tentative touch
+            touched[view] = (view.d[0], view.d[1], view.d[2], view.mem_available)
         d = view.d
         inv = view.inv_rate_ept
         for r in (_CPU, _NET, _DISK):
             if usage[r] > 0.0:
                 nd = d[r] - usage[r] * inv[r]
                 d[r] = nd if nd > 0.0 else 0.0
-        view.mem_available -= task.est_mem_mb
+        view.mem_available -= mem

@@ -1,0 +1,209 @@
+"""Frozen pre-optimization scheduling-tick reference (PR-2 behaviour).
+
+:class:`ReferenceUrsaPlacement` is a verbatim copy of the Algorithm-1
+implementation *before* the tick fast path landed (dirty-set undo, usage
+caching, inlined candidate pruning).  It snapshot/restores **every** worker
+view per candidate stage and re-derives every task-usage tuple on demand —
+exactly the code the optimized :class:`~repro.scheduler.placement.\
+UrsaPlacement` replaced.
+
+It exists for two reasons:
+
+* the ``tests/perf`` determinism suite proves the optimized tick produces
+  **bit-identical** experiment metrics to this reference, and
+* ``scripts/bench_sim.py`` measures the single-simulation speedup of the
+  fast path against it (``BENCH_sim.json``).
+
+``UrsaConfig(legacy_tick=True)`` selects this placement and additionally
+restores the two other pre-change behaviours: worker queues are re-sorted
+on *every* tick (even under statically-ranked policies) and SRJF's
+``_dot(job)`` is recomputed on every call instead of memoized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+from ..dataflow.monotask import Task
+from .placement import (
+    _CPU,
+    _DISK,
+    _NET,
+    Assignment,
+    PlacementPolicy,
+    ReadyStage,
+    _task_usage,
+    _WorkerView,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..execution.jobmanager import JobManager
+
+__all__ = ["ReferenceUrsaPlacement"]
+
+
+class ReferenceUrsaPlacement(PlacementPolicy):
+    """Algorithm 1, pre-fast-path: snapshot-all undo, no caching."""
+
+    def __init__(
+        self,
+        ept: float = 0.3,
+        stage_bonus: float = 1e6,
+        stage_aware: bool = True,
+        ignore_network: bool = False,
+    ):
+        if ept <= 0:
+            raise ValueError("EPT must be positive")
+        self.ept = ept
+        self.stage_bonus = stage_bonus
+        self.stage_aware = stage_aware
+        self.ignore_network = ignore_network
+
+    # ------------------------------------------------------------------
+    def place(self, ready, workers, now, job_policy) -> list[Assignment]:
+        views = [_WorkerView(w, i, self.ept) for i, w in enumerate(workers)]
+        if self.stage_aware:
+            return self._place_by_stage(ready, views, now, job_policy)
+        return self._place_by_task(ready, views, now, job_policy)
+
+    # ------------------------------------------------------------------
+    def _place_by_stage(self, ready, views, now, job_policy) -> list[Assignment]:
+        assignments: list[Assignment] = []
+        pending = [rs for rs in ready if rs.tasks]
+        # lazy-greedy max-heap of (-score, tiebreak, stage)
+        heap: list[tuple[float, int, ReadyStage]] = []
+        for seq, rs in enumerate(pending):
+            score, plan = self._stage_score_tentative(rs.tasks, views)
+            if not plan:
+                continue
+            score += job_policy.placement_bonus(rs.jm.job, now)
+            heapq.heappush(heap, (-score, seq, rs))
+        seq = len(pending)
+        while heap:
+            neg_stale, _sq, rs = heapq.heappop(heap)
+            if not rs.tasks:
+                continue
+            score, plan = self._stage_score_tentative(rs.tasks, views)
+            if not plan:
+                continue  # headroom only shrinks within a round: drop
+            score += job_policy.placement_bonus(rs.jm.job, now)
+            if heap and -heap[0][0] > score + 1e-12:
+                # stale top: push back with the fresh score and retry
+                seq += 1
+                heapq.heappush(heap, (-score, seq, rs))
+                continue
+            placed_ids = set()
+            for task, widx in plan:
+                self._commit(views[widx], task)
+                assignments.append(Assignment(rs.jm, task, widx))
+                placed_ids.add(task.task_id)
+            rs.tasks = [t for t in rs.tasks if t.task_id not in placed_ids]
+            if rs.tasks:
+                # the leftover was unplaceable with shrunken headroom; it
+                # stays ready for the next scheduling interval
+                continue
+        return assignments
+
+    def _place_by_task(self, ready, views, now, job_policy) -> list[Assignment]:
+        """Fig-7 ablation: greedily place single highest-score tasks."""
+        assignments: list[Assignment] = []
+        pool: list[tuple["JobManager", Task]] = [
+            (rs.jm, t) for rs in ready for t in rs.tasks
+        ]
+        while pool:
+            best = None
+            best_score = float("-inf")
+            for i, (jm, task) in enumerate(pool):
+                widx, score = self._best_worker(task, views)
+                if widx is None:
+                    continue
+                score += job_policy.placement_bonus(jm.job, now)
+                if score > best_score:
+                    best_score, best = score, (i, widx)
+            if best is None:
+                break
+            i, widx = best
+            jm, task = pool.pop(i)
+            self._commit(views[widx], task)
+            assignments.append(Assignment(jm, task, widx))
+        return assignments
+
+    # ------------------------------------------------------------------
+    # Algorithm 1's StageScore (on a tentative copy of the views)
+    # ------------------------------------------------------------------
+    def _stage_score_tentative(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
+        snaps = [v.snapshot() for v in views]
+        result = self._stage_score(tasks, views)
+        for v, s in zip(views, snaps):
+            v.restore(s)
+        return result
+
+    def _stage_score(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
+        plan: list[tuple[Task, int]] = []
+        score = 0.0
+        stage_bonus = self.stage_bonus
+        for task in tasks:
+            widx, f = self._best_worker(task, views)
+            if widx is None:
+                stage_bonus = 0.0
+            else:
+                plan.append((task, widx))
+                self._commit(views[widx], task)
+                score += f
+        if not plan:
+            return (0.0, [])
+        return (score / len(plan) + stage_bonus, plan)
+
+    def _best_worker(self, task: Task, views) -> tuple[Optional[int], float]:
+        if task.locality is not None:
+            candidates = (views[task.locality],)
+        else:
+            candidates = views
+        usage = _task_usage(task, self.ignore_network)
+        best_view: Optional[_WorkerView] = None
+        best_f = float("-inf")
+        for view in candidates:
+            f = self._score(task, usage, view)
+            if f is not None and f > best_f:
+                best_f, best_view = f, view
+        if best_view is None:
+            return None, 0.0
+        return best_view.index, best_f
+
+    def _score(self, task: Task, usage, view: _WorkerView) -> Optional[float]:
+        mem = task.est_mem_mb
+        if mem > view.mem_available + 1e-9:
+            return None
+        d = view.d
+        inv = view.inv_rate_ept
+        f = 0.0
+        for r in (_CPU, _NET, _DISK):
+            u = usage[r]
+            if u <= 0.0:
+                continue
+            dr = d[r]
+            if dr <= 0.0:
+                # blocking rule: needed resource with zero headroom
+                return None
+            inc = u * inv[r]
+            if inc > dr:
+                inc = dr  # availability caps the contribution
+            f += dr * inc
+        d_mem = view.mem_available / view.mem_capacity
+        if mem > 0.0:
+            if d_mem <= 0.0:
+                return None
+            inc_mem = mem / view.mem_capacity
+            f += d_mem * min(inc_mem, d_mem)
+        return f
+
+    def _commit(self, view: _WorkerView, task: Task) -> None:
+        usage = _task_usage(task, self.ignore_network)
+        d = view.d
+        inv = view.inv_rate_ept
+        for r in (_CPU, _NET, _DISK):
+            if usage[r] > 0.0:
+                nd = d[r] - usage[r] * inv[r]
+                d[r] = nd if nd > 0.0 else 0.0
+        view.mem_available -= task.est_mem_mb

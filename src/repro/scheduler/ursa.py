@@ -23,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Optional
 
 from ..cluster.cluster import Cluster
@@ -30,6 +31,7 @@ from ..dataflow.graph import OpGraph
 from ..dataflow.monotask import Monotask, Task
 from ..execution.job import Job, JobState
 from ..execution.jobmanager import JobManager
+from ..perf import profile as _profile
 from .admission import AdmissionController
 from .ordering import EarliestJobFirst, SchedulingPolicy, SmallestRemainingJobFirst
 from .placement import Assignment, PlacementPolicy, ReadyStage, UrsaPlacement
@@ -54,12 +56,18 @@ class UrsaConfig:
     starvation_timeout: float = 120.0
     worker: WorkerConfig = field(default_factory=WorkerConfig)
     placement: Optional[PlacementPolicy] = None  # default: Algorithm 1
+    # Pre-PR3 reference tick: snapshot-all placement, resort every round,
+    # no SRJF memoization.  Used by the determinism suite and bench_sim as
+    # the bit-identical (but slower) baseline.
+    legacy_tick: bool = False
 
     def build_policy(self) -> SchedulingPolicy:
         if self.policy == "ejf":
             return EarliestJobFirst(self.policy_weight)
         if self.policy == "srjf":
-            return SmallestRemainingJobFirst(self.policy_weight)
+            return SmallestRemainingJobFirst(
+                self.policy_weight, memoize=not self.legacy_tick
+            )
         raise ValueError(f"unknown policy {self.policy!r}")
 
 
@@ -87,10 +95,25 @@ class UrsaSystem:
         self._admission_policy = self.policy if self.config.job_ordering else _FifoPolicy(0.0)
         self._queue_policy = self.policy if self.config.monotask_ordering else _FifoPolicy(0.0)
 
-        self.placement = self.config.placement or UrsaPlacement(
-            ept=self.config.scheduling_interval * self.config.ept_factor,
-            stage_aware=self.config.stage_aware,
-            ignore_network=self.config.ignore_network,
+        if self.config.placement is not None:
+            self.placement = self.config.placement
+        else:
+            placement_cls = UrsaPlacement
+            if self.config.legacy_tick:
+                from .reference import ReferenceUrsaPlacement
+
+                placement_cls = ReferenceUrsaPlacement
+            self.placement = placement_cls(
+                ept=self.config.scheduling_interval * self.config.ept_factor,
+                stage_aware=self.config.stage_aware,
+                ignore_network=self.config.ignore_network,
+            )
+        # Worker queues only need a per-tick resort when ranks can drift
+        # between refreshes (SRJF); EJF/FIFO keys are static per job, so a
+        # resort would recompute identical keys and heapify an already-valid
+        # heap — a guaranteed no-op we elide (legacy mode keeps it).
+        self._resort_each_tick = (
+            self._queue_policy.dynamic_rank or self.config.legacy_tick
         )
         self.workers = [
             Worker(cluster, i, self._queue_policy, self.config.worker)
@@ -182,20 +205,51 @@ class UrsaSystem:
     def _tick(self) -> None:
         self._tick_scheduled = False
         now = self.sim.now
+        prof = _profile.PROFILER
+        if prof is None:
+            self._refresh_policies(now)
+            if self._resort_each_tick:
+                for w in self.workers:
+                    w.resort_queues()
+            assignments = self.placement.place(
+                self._ready_stages(), self.workers, now, self._admission_policy
+            )
+            self._dispatch(assignments)
+        else:
+            # instrumented twin of the fast path above: same steps, with a
+            # perf_counter_ns fence between the tick phases
+            t0 = perf_counter_ns()
+            self._refresh_policies(now)
+            t1 = perf_counter_ns()
+            if self._resort_each_tick:
+                for w in self.workers:
+                    w.resort_queues()
+                prof.resort_ticks += 1
+            t2 = perf_counter_ns()
+            ready = self._ready_stages()
+            t3 = perf_counter_ns()
+            assignments = self.placement.place(
+                ready, self.workers, now, self._admission_policy
+            )
+            t4 = perf_counter_ns()
+            self._dispatch(assignments)
+            t5 = perf_counter_ns()
+            prof.record_tick(
+                t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, len(assignments)
+            )
+        if self.active_jobs or self.admission.queue_length:
+            self._ensure_tick()
+
+    def _refresh_policies(self, now: float) -> None:
         active = [self.jms[j].job for j in self.active_jobs]
         self.policy.refresh(active, now)
         if self._queue_policy is not self.policy:
             self._queue_policy.refresh(active, now)
-        for w in self.workers:
-            w.resort_queues()
-        assignments = self.placement.place(
-            self._ready_stages(), self.workers, now, self._admission_policy
-        )
+
+    def _dispatch(self, assignments: list[Assignment]) -> None:
         for a in assignments:
             self.workers[a.worker].add_assigned_task(a.task)
             a.jm.place_task(a.task, a.worker)
-        if self.active_jobs or self.admission.queue_length:
-            self._ensure_tick()
 
     def _ready_stages(self) -> list[ReadyStage]:
         ready: list[ReadyStage] = []

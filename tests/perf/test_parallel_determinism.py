@@ -37,7 +37,8 @@ def test_parallel_is_bit_identical_to_serial(serial_results):
 
 
 def test_single_worker_pool_is_bit_identical_to_serial(serial_results):
-    """workers=1 exercises the pickling path without concurrency."""
+    """workers=1 routes through the serial in-process path (no pool); the
+    pickle round-trip there must keep the bytes identical to workers=0."""
     runner = ParallelRunner(workers=1)
     results = _quiet(runner.run, "fig8", SCALES["tiny"])
     assert pickle.dumps(results) == pickle.dumps(serial_results["fig8"])

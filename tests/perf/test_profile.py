@@ -1,0 +1,79 @@
+"""TickProfiler unit tests: enable/disable contract and bookkeeping."""
+
+from repro.perf import profile
+from repro.perf.profile import TickProfiler
+
+
+def test_enable_disable_roundtrip():
+    assert profile.PROFILER is None
+    prof = profile.enable()
+    assert profile.PROFILER is prof
+    assert profile.disable() is prof
+    assert profile.PROFILER is None
+    # disabling when already off is a harmless no-op
+    assert profile.disable() is None
+
+
+def test_enable_replaces_previous_profiler():
+    first = profile.enable()
+    second = profile.enable()
+    try:
+        assert second is not first
+        assert profile.PROFILER is second
+    finally:
+        profile.disable()
+
+
+def test_record_tick_accumulates():
+    prof = TickProfiler()
+    prof.record_tick(1, 2, 3, 4, 5, assignments=7)
+    prof.record_tick(10, 20, 30, 40, 50, assignments=0)
+    assert prof.ticks == 2
+    assert prof.assignments == 7
+    assert prof.phase_ns == {
+        "refresh": 11, "resort": 22, "ready": 33, "place": 44, "dispatch": 55,
+    }
+    assert prof.total_ns == 165
+
+
+def test_merge_folds_every_counter():
+    a, b = TickProfiler(), TickProfiler()
+    a.record_tick(1, 1, 1, 1, 1, assignments=2)
+    a.stages_scored, a.heap_repushes = 3, 1
+    b.record_tick(2, 2, 2, 2, 2, assignments=4)
+    b.tasks_scored, b.resort_ticks, b.workers_scanned = 5, 1, 9
+    a.merge(b)
+    assert a.ticks == 2
+    assert a.assignments == 6
+    assert a.stages_scored == 3
+    assert a.tasks_scored == 5
+    assert a.resort_ticks == 1
+    assert a.workers_scanned == 9
+    assert a.heap_repushes == 1
+    assert a.total_ns == 15
+
+
+def test_as_dict_exposes_counters_and_phases():
+    prof = TickProfiler()
+    prof.record_tick(1000, 2000, 3000, 4000, 5000, assignments=3)
+    d = prof.as_dict()
+    assert d["ticks"] == 1
+    assert d["assignments"] == 3
+    assert d["place_ns"] == 4000
+    assert d["dispatch_ns"] == 5000
+    assert set(d) >= {"resort_ticks", "stages_scored", "tasks_scored",
+                      "workers_scanned", "heap_repushes"}
+
+
+def test_report_lists_every_phase():
+    prof = TickProfiler()
+    prof.record_tick(1000, 2000, 3000, 4000, 5000, assignments=3)
+    rep = prof.report()
+    assert "1 ticks" in rep and "3 assignments" in rep
+    for phase in ("refresh", "resort", "ready", "place", "dispatch"):
+        assert phase in rep
+    assert "resort_ticks=0" in rep
+
+
+def test_report_on_empty_profiler_does_not_divide_by_zero():
+    assert "0 ticks" in TickProfiler().report()

@@ -51,6 +51,32 @@ def test_runner_rejects_negative_workers():
         ParallelRunner(workers=-1)
 
 
+def test_default_workers_serial_when_pool_cannot_help(monkeypatch):
+    import repro.perf.runner as runner_mod
+
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
+    assert runner_mod.default_workers() == 0
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: None)
+    assert runner_mod.default_workers() == 0
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 8)
+    assert runner_mod.default_workers() == 8
+
+
+def test_single_worker_runs_in_process(monkeypatch):
+    """workers=1 must take the serial path — a one-worker pool pays spawn
+    plus pickling for zero overlap."""
+    import repro.perf.runner as runner_mod
+
+    def _no_pool(*args, **kwargs):
+        pytest.fail("workers=1 must not create a ProcessPoolExecutor")
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", _no_pool)
+    runner = ParallelRunner(workers=1)
+    with contextlib.redirect_stdout(io.StringIO()):
+        runner.run("fig9", SCALES["tiny"])
+    assert runner.executed_units == 1
+
+
 def test_runner_rejects_unknown_experiment():
     with pytest.raises(KeyError):
         ParallelRunner().run("table99", SCALES["tiny"])

@@ -1,0 +1,75 @@
+"""PR-3 acceptance: the scheduling-tick fast path changes *nothing* but time.
+
+``UrsaConfig(legacy_tick=True)`` runs the frozen pre-change scheduler (the
+brute-force placement in :mod:`repro.scheduler.reference`, a forced queue
+resort every tick, and unmemoized SRJF ranks).  Every optimization in the
+fast path — lazy-heap stage selection with generation reuse, dirty-set
+undo, cached usage tuples, resort elision, SRJF memoization — must leave
+the simulation metrics pickle-byte-identical to that reference, for both
+job-ordering policies.  Profiling must be a pure observer: enabling it
+cannot perturb results either.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.common import SCALES, run_one_system
+from repro.perf import profile as tick_profile
+from repro.scheduler import UrsaConfig
+from repro.workloads import tpch2_workload
+
+_cache: dict = {}
+
+
+def _workload(sc):
+    return tpch2_workload(
+        n_jobs=sc.n_jobs,
+        scale=sc.workload_scale,
+        arrival_interval=sc.arrival_interval,
+        max_parallelism=sc.max_parallelism,
+        partition_mb=sc.partition_mb,
+    )
+
+
+def _metrics(policy: str, legacy: bool = False, cached: bool = True, **flags) -> bytes:
+    key = (policy, legacy, tuple(sorted(flags.items())))
+    if cached and key in _cache:
+        return _cache[key]
+    cfg = UrsaConfig(policy=policy, legacy_tick=legacy, **flags)
+    name = "ursa-ejf" if policy == "ejf" else "ursa-srjf"
+    res = run_one_system(name, _workload, SCALES["tiny"], seed=0,
+                         overrides={"ursa_config": cfg})
+    blob = pickle.dumps(res.metrics)
+    if cached:
+        _cache[key] = blob
+    return blob
+
+
+@pytest.mark.parametrize("policy", ["ejf", "srjf"])
+def test_fast_path_bit_identical_to_legacy(policy):
+    assert _metrics(policy) == _metrics(policy, legacy=True)
+
+
+def test_fast_path_bit_identical_in_task_mode():
+    """The fig-7 ablation path (non-stage-aware lazy task heap)."""
+    assert _metrics("ejf", stage_aware=False) == _metrics(
+        "ejf", legacy=True, stage_aware=False
+    )
+
+
+def test_profiled_run_is_identical_and_populates_counters():
+    base = _metrics("ejf")
+    prof = tick_profile.enable()
+    try:
+        profiled = _metrics("ejf", cached=False)
+    finally:
+        assert tick_profile.disable() is prof
+    assert profiled == base
+    assert prof.ticks > 0
+    assert prof.assignments > 0
+    assert prof.stages_scored > 0
+    assert prof.tasks_scored >= prof.assignments
+    assert prof.phase_ns["place"] > 0
+    # EJF ranks are static: the per-tick queue resort must be elided
+    assert prof.resort_ticks == 0

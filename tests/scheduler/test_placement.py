@@ -23,7 +23,8 @@ class _NullBackend:
 def build_jm(cluster, n_tasks=4, size=10.0, submit=0.0, job_id=0):
     g = OpGraph(f"p{job_id}")
     src = g.create_data(n_tasks)
-    g.set_input(src, [size] * n_tasks)
+    sizes = list(size) if isinstance(size, (list, tuple)) else [size] * n_tasks
+    g.set_input(src, sizes)
     msg = g.create_data(n_tasks)
     ser = g.create_op(ResourceType.CPU, "ser").read(src).create(msg)
     sh = g.create_op(ResourceType.NETWORK, "sh").read(msg).create(g.create_data(n_tasks))
@@ -114,7 +115,7 @@ def test_blocking_rule_zero_headroom(cluster, workers):
     placement = UrsaPlacement(ept=0.3)
     view = _WorkerView(workers[0], 0, ept=0.3)
     view.d[0] = 0.0  # CPU headroom
-    task = jm.ready_tasks[0]
+    task = next(iter(jm.ready_tasks))
     assert task.est_cpu_mb > 0
     assert placement._score(task, _task_usage(task, False), view) is None
 
@@ -126,7 +127,7 @@ def test_inc_capped_by_headroom(cluster, workers):
     jm = build_jm(cluster, n_tasks=1, size=1e6)
     placement = UrsaPlacement(ept=0.3)
     view = _WorkerView(workers[0], 0, ept=0.3)
-    task = jm.ready_tasks[0]
+    task = next(iter(jm.ready_tasks))
     f = placement._score(task, _task_usage(task, False), view)
     assert f is not None
     assert f <= 4.0 + 1e-9  # at most sum of D_r * D_r <= 4
@@ -178,7 +179,7 @@ def test_ignore_network_flag_zeroes_network_usage(cluster, workers):
     from repro.scheduler.placement import _task_usage
 
     jm = build_jm(cluster, n_tasks=1)
-    task = jm.ready_tasks[0]
+    task = next(iter(jm.ready_tasks))
     task.est_net_mb = 50.0
     usage = _task_usage(task, True)
     assert usage[1] == 0.0
@@ -188,3 +189,48 @@ def test_ignore_network_flag_zeroes_network_usage(cluster, workers):
 def test_invalid_ept_rejected():
     with pytest.raises(ValueError):
         UrsaPlacement(ept=0.0)
+
+
+# ----------------------------------------------------------------------
+# Regression: the lazy-heap fast path must reproduce the brute-force
+# rescore-all-stages reference decision-for-decision.
+# ----------------------------------------------------------------------
+def _randomized_setup(seed, n_jobs=4, machines=4):
+    """Build jobs with random continuous task sizes on randomly pre-loaded
+    workers.  Continuous sizes keep scores tie-free, so any divergence in
+    heap bookkeeping shows up as a different assignment sequence."""
+    import random
+
+    rng = random.Random(seed)
+    cluster = Cluster(ClusterSpec.small(num_machines=machines, cores=4, core_rate_mbps=10.0))
+    workers = [Worker(cluster, i, EarliestJobFirst()) for i in range(machines)]
+    for w in workers:
+        for r in (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK):
+            w.assigned_work[r] = rng.uniform(0.0, 8.0)
+            w.rates[r].record(rng.uniform(5.0, 40.0), rng.uniform(0.5, 3.0))
+        w.running[ResourceType.CPU] = rng.randrange(0, w.machine.spec.cores + 1)
+        w.machine.reserve_memory(rng.uniform(0.0, 0.5) * w.machine.memory.capacity)
+    stages = []
+    for j in range(n_jobs):
+        n_tasks = rng.randrange(2, 9)
+        sizes = [rng.uniform(1.0, 60.0) for _ in range(n_tasks)]
+        jm = build_jm(cluster, n_tasks=n_tasks, size=sizes, job_id=j,
+                      submit=rng.uniform(0.0, 20.0))
+        stages.extend(ready_stages(jm))
+    return workers, stages
+
+
+@pytest.mark.parametrize("stage_aware", [True, False])
+@pytest.mark.parametrize("seed", range(8))
+def test_lazy_heap_matches_bruteforce_reference(seed, stage_aware):
+    from repro.scheduler import ReferenceUrsaPlacement
+
+    def run(cls):
+        # rebuild the full state from the seed so each implementation sees
+        # an identical, unshared cluster/worker/ready-set snapshot
+        workers, stages = _randomized_setup(seed)
+        placement = cls(ept=0.3, stage_aware=stage_aware)
+        out = placement.place(stages, workers, 25.0, EarliestJobFirst(weight=0.1))
+        return [(a.jm.job.job_id, a.task.task_id, a.worker) for a in out]
+
+    assert run(UrsaPlacement) == run(ReferenceUrsaPlacement)

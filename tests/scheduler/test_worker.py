@@ -113,7 +113,9 @@ def test_apt_zero_when_cpu_idle():
     cluster, worker, jm, backend = single_worker_setup(cores=4, n_tasks=2)
     assert worker.apt(ResourceType.CPU) == 0.0
     place_all(jm, worker)
-    # 2 running on 4 cores: still idle cores -> APT 0 (paper rule)
+    # 2 running on 4 cores with assigned work backlogged: a CPU slot is
+    # immediately available, so APT must still be exactly 0 (paper rule)
+    assert worker.assigned_work[ResourceType.CPU] > 0.0
     assert worker.apt(ResourceType.CPU) == 0.0
 
 
@@ -145,6 +147,40 @@ def test_processing_rate_learns_from_slow_tasks():
     place_all(jm, worker)
     cluster.sim.drain()
     assert worker.processing_rate(ResourceType.CPU) < nominal * 0.7
+
+
+def test_rate_monitor_window_eviction_matches_recompute():
+    """The incremental _x/_t sums must stay consistent with a from-scratch
+    recompute over the nominal pseudo-sample plus the kept window."""
+    import random
+
+    from repro.scheduler.worker import _RateMonitor
+
+    rng = random.Random(42)
+    window, nominal = 5, 10.0
+    mon = _RateMonitor(nominal_rate=nominal, window=window)
+    samples = []
+    for _ in range(40):
+        w, d = rng.uniform(0.5, 20.0), rng.uniform(0.01, 3.0)
+        mon.record(w, d)
+        samples.append((w, d))
+        kept = samples[-window:]
+        assert len(mon._samples) == len(kept)
+        x = nominal + sum(s[0] for s in kept)
+        t = 1.0 + sum(s[1] for s in kept)
+        assert mon.rate == pytest.approx(x / t, rel=1e-9)
+
+
+def test_rate_monitor_ignores_degenerate_samples():
+    from repro.scheduler.worker import _RateMonitor
+
+    mon = _RateMonitor(nominal_rate=10.0, window=4)
+    before = mon.rate
+    mon.record(0.0, 1.0)    # no work
+    mon.record(5.0, 0.0)    # no duration
+    mon.record(-1.0, 1.0)   # negative work
+    assert mon.rate == before
+    assert len(mon._samples) == 0
 
 
 def test_worker_config_validation():
