@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-sim profile
+.PHONY: test bench bench-smoke bench-baseline bench-sim profile trace
 
 test:
 	$(PY) -m pytest -x -q
@@ -31,3 +31,12 @@ bench-sim:
 # per-phase tick counter report.
 profile:
 	$(PY) -m repro.experiments --profile --only fig7 --scale tiny
+
+# Trace monotask lifecycles through a small experiment: writes
+# traces/trace.jsonl + traces/trace.json (open the latter at
+# https://ui.perfetto.dev), prints the allocation-latency tables, and
+# validates the Chrome Trace export.
+trace:
+	$(PY) -m repro.experiments --trace --trace-out traces --only table2 --scale tiny
+	$(PY) scripts/trace_stats.py --validate-chrome traces/trace.json
+	$(PY) scripts/trace_stats.py traces/trace.jsonl

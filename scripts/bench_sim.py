@@ -26,22 +26,30 @@ import time
 from pathlib import Path
 
 
-def _run_once(n_jobs: int, legacy: bool, profiled: bool = False) -> tuple[bytes, float, dict]:
+def _run_once(
+    n_jobs: int, legacy: bool, profiled: bool = False, traced: bool = False
+) -> tuple[bytes, float, dict]:
     """One full simulation; returns (metrics bytes, wall seconds, profile).
 
     Timed repeats run *unprofiled*: the legacy placement carries no counter
     branches, so enabling the profiler would slow only the optimized side
     and understate the speedup.  The per-phase counters in the baseline
-    come from one extra untimed profiled run.
+    come from one extra untimed profiled run.  ``traced=True`` records the
+    monotask lifecycle through ``repro.obs`` (also untimed, for the
+    tracing-is-pure-observation identity check and ``--trace-out``).
     """
     from repro.cluster import Cluster
     from repro.experiments.common import SCALES
     from repro.experiments.fig8_fig9_fig10_synthetic import params_for
     from repro.metrics import compute_metrics
+    from repro.obs import recorder as obs_recorder
     from repro.perf import profile as tick_profile
     from repro.scheduler import UrsaConfig, UrsaSystem
     from repro.workloads import submit_workload, synthetic_setting1
 
+    rec = obs_recorder.enable() if traced else None
+    if rec is not None:
+        rec.begin_unit("bench_sim")
     sc = SCALES["bench"]
     cluster = Cluster(sc.cluster)
     system = UrsaSystem(
@@ -59,10 +67,15 @@ def _run_once(n_jobs: int, legacy: bool, profiled: bool = False) -> tuple[bytes,
     finally:
         if profiled:
             tick_profile.disable()
+        if traced:
+            obs_recorder.disable()
     if not system.all_done:
         raise RuntimeError("bench_sim workload did not finish")
     metrics = pickle.dumps(compute_metrics(system))
-    return metrics, elapsed, prof.as_dict() if prof is not None else {}
+    extra = prof.as_dict() if prof is not None else {}
+    if rec is not None:
+        extra["recorder"] = rec
+    return metrics, elapsed, extra
 
 
 def main(argv=None) -> int:
@@ -70,6 +83,12 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N (default 3)")
     parser.add_argument("--n-jobs", type=int, default=8, help="workload size (default 8)")
     parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="also run once (untimed) with lifecycle tracing enabled and "
+             "write trace.jsonl / trace.json under DIR; the traced run is "
+             "folded into the metrics-identity check",
+    )
     args = parser.parse_args(argv)
 
     print(f"bench_sim: synthetic setting-1, n_jobs={args.n_jobs}, "
@@ -90,6 +109,18 @@ def main(argv=None) -> int:
     # doubles as the profiled-run-is-identical check
     metrics_profiled, _, prof_opt = _run_once(args.n_jobs, legacy=False, profiled=True)
     identical = metrics_opt == metrics_leg == metrics_profiled
+
+    if args.trace_out is not None:
+        # one more untimed run with the lifecycle recorder on: tracing is
+        # pure observation, so its metrics must join the identity check
+        from repro.obs import write_trace_files
+
+        metrics_traced, _, extra = _run_once(args.n_jobs, legacy=False, traced=True)
+        identical = identical and metrics_opt == metrics_traced
+        rec = extra["recorder"]
+        paths = write_trace_files(rec, args.trace_out)
+        print(f"  traced run: {len(rec.events)} events -> {paths['chrome']}",
+              file=sys.stderr)
     best_opt, best_leg = min(optimized), min(legacy)
     speedup = best_leg / best_opt if best_opt else None
 

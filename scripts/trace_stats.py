@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Summarize a JSONL lifecycle trace without rerunning any simulation.
+
+Reads a ``trace.jsonl`` produced by ``python -m repro.experiments --trace``
+(or ``scripts/bench_sim.py --trace-out``) and prints the allocation-latency
+and queue-wait percentile tables — the paper's Obj-4 evidence — derived
+purely from the recorded events::
+
+    PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl
+    PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --per-unit
+    PYTHONPATH=src python scripts/trace_stats.py --validate-chrome traces/trace.json
+
+``--validate-chrome`` checks a Chrome Trace JSON file against the schema
+subset the exporter emits (the CI smoke job gates on this) and exits
+non-zero on the first invalid document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+
+def _validate_chrome(path: str) -> int:
+    from repro.obs import validate_chrome_trace
+
+    doc = json.loads(Path(path).read_text())
+    errors = validate_chrome_trace(doc)
+    n_events = len(doc.get("traceEvents", [])) if isinstance(doc, dict) else 0
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} error(s) in {n_events} events)")
+        for err in errors[:20]:
+            print(f"  {err}")
+        if len(errors) > 20:
+            print(f"  ... and {len(errors) - 20} more")
+        return 1
+    print(f"{path}: OK ({n_events} trace events)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trace", nargs="?", metavar="TRACE_JSONL",
+        help="JSONL lifecycle trace to summarize",
+    )
+    parser.add_argument(
+        "--per-unit", action="store_true",
+        help="print one table per simulation unit instead of one overall",
+    )
+    parser.add_argument(
+        "--validate-chrome", default=None, metavar="TRACE_JSON",
+        help="validate a Chrome Trace JSON export instead of summarizing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate_chrome is not None:
+        return _validate_chrome(args.validate_chrome)
+    if args.trace is None:
+        parser.error("a TRACE_JSONL path (or --validate-chrome) is required")
+
+    from repro.metrics import format_latency_rows
+    from repro.obs import derive_latency, read_jsonl
+
+    events = read_jsonl(args.trace)
+    if not events:
+        print(f"{args.trace}: empty trace", file=sys.stderr)
+        return 1
+
+    kinds = Counter(ev["kind"] for ev in events)
+    print(f"{args.trace}: {len(events)} events")
+    print("  " + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())))
+
+    if args.per_unit:
+        units: dict[str, list] = {}
+        for ev in events:
+            units.setdefault(ev.get("unit", "run"), []).append(ev)
+        for label, unit_events in units.items():
+            stats = derive_latency(unit_events)
+            print("\n" + format_latency_rows(stats, title=f"[{label}]"))
+    else:
+        stats = derive_latency(events)
+        title = f"latency distributions ({len(stats['units'])} unit(s))"
+        print("\n" + format_latency_rows(stats, title=title))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

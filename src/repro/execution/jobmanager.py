@@ -26,6 +26,7 @@ from typing import Optional, Protocol
 from ..cluster.cluster import Cluster
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Monotask, MonotaskState, Task, TaskState
+from ..obs import recorder as _obs
 from .estimator import estimate_task_memory, estimate_task_usage
 from .job import Job, JobState
 from .jobprocess import JobProcess
@@ -85,11 +86,16 @@ class JobManager:
         """Called at admission: surface the root tasks for placement."""
         self.job.state = JobState.ADMITTED
         self.job.admit_time = self.sim.now
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.jm_start(self.sim.now, self.job.job_id)
         if self.job.num_tasks == 0:
             # a no-op graph (e.g. collect() on raw input data) is complete
             # the moment it is admitted
             self.job.state = JobState.DONE
             self.job.finish_time = self.sim.now
+            if rec is not None:
+                rec.job_finish(self.sim.now, self.job.job_id, self.job.jct or 0.0)
             self.backend.on_job_complete(self)
             return
         newly = []
@@ -113,6 +119,15 @@ class JobManager:
             task.est_mem_mb = estimate_task_memory(
                 task, self.job.requested_memory_mb, ready_input_total
             )
+        rec = _obs.RECORDER
+        if rec is not None:
+            now = self.sim.now
+            for task in tasks:
+                rec.task_ready(
+                    now, self.job.job_id, task.task_id,
+                    task.stage.stage_id if task.stage is not None else -1,
+                    len(task.monotasks), task.input_size_mb(),
+                )
         self.backend.on_tasks_ready(self, tasks)
 
     # ------------------------------------------------------------------
@@ -245,6 +260,12 @@ class JobManager:
     def monotask_finished(self, mt: Monotask) -> None:
         task = mt.task
         assert task is not None
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.mt_finish(
+                self.sim.now, self.job.job_id, task.task_id, mt.mt_id,
+                mt.rtype.value, task.worker if task.worker is not None else -1,
+            )
         task.remaining_monotasks -= 1
         self.job.decrement_remaining(mt.rtype, mt.input_size_mb)
         if mt.rtype is ResourceType.CPU and mt.started_at is not None:
@@ -273,6 +294,9 @@ class JobManager:
         task.finished_at = self.sim.now
         self.job.tasks_done += 1
         assert task.worker is not None
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.task_finish(self.sim.now, self.job.job_id, task.task_id, task.worker)
         machine = self.cluster.machine(task.worker)
         if self.reserve_task_memory:
             machine.release_memory(task.est_mem_mb)
@@ -296,4 +320,6 @@ class JobManager:
         if self.job.tasks_done == self.job.num_tasks:
             self.job.state = JobState.DONE
             self.job.finish_time = self.sim.now
+            if rec is not None:
+                rec.job_finish(self.sim.now, self.job.job_id, self.job.jct or 0.0)
             self.backend.on_job_complete(self)

@@ -14,6 +14,10 @@ Examples::
 
     # profile the scheduling-tick hot path (forces serial execution)
     python -m repro.experiments --profile --only fig7 --scale tiny
+
+    # trace monotask lifecycles; writes traces/trace.jsonl + trace.json
+    # (open the latter at https://ui.perfetto.dev)
+    python -m repro.experiments --trace --only table2 --scale tiny
 """
 
 from __future__ import annotations
@@ -22,6 +26,9 @@ import argparse
 import sys
 import time
 
+from ..metrics.report import format_latency_rows
+from ..obs import derive_latency, write_trace_files
+from ..obs import recorder as obs_recorder
 from ..perf import profile as tick_profile
 from ..perf.cache import ResultCache
 from ..perf.runner import ParallelRunner, default_workers
@@ -71,6 +78,16 @@ def main(argv: list[str] | None = None) -> int:
              "counters (forces serial in-process execution)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="record monotask lifecycle events and export JSONL + Chrome "
+             "Trace JSON (forces serial in-process execution)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="directory for trace.jsonl / trace.json (default: traces; "
+             "implies --trace)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiment names and exit",
     )
@@ -107,16 +124,25 @@ def main(argv: list[str] | None = None) -> int:
         # parent's counters would stay empty — force the serial path
         parser.error("--profile requires serial execution; omit --parallel")
 
+    tracing = args.trace or args.trace_out is not None
+    if tracing and workers:
+        # same constraint as --profile: pool workers would record into
+        # their own processes and the parent's recorder would stay empty
+        parser.error("--trace requires serial execution; omit --parallel")
+
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ParallelRunner(workers=workers, cache=cache)
 
     prof = tick_profile.enable() if args.profile else None
+    rec = obs_recorder.enable() if tracing else None
     start = time.perf_counter()
     try:
         run_all(args.scale, only=only, seed=args.seed, runner=runner)
     finally:
         if args.profile:
             tick_profile.disable()
+        if tracing:
+            obs_recorder.disable()
     elapsed = time.perf_counter() - start
     mode = f"{workers} workers" if workers else "serial"
     summary = f"[{mode}] suite completed in {elapsed:.1f} s"
@@ -125,6 +151,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n{summary}", file=sys.stderr)
     if prof is not None:
         print(f"\n{prof.report()}")
+    if rec is not None:
+        stats = derive_latency(rec.events)
+        print("\n" + format_latency_rows(
+            stats, title="Trace-derived latency distributions"
+        ))
+        out_dir = args.trace_out or "traces"
+        paths = write_trace_files(rec, out_dir)
+        print(
+            f"[trace] {len(rec.events)} events across {len(stats['units'])} "
+            f"unit(s) -> {paths['jsonl']} and {paths['chrome']} "
+            "(open trace.json at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -2,7 +2,7 @@
 
 from .accounting import SystemMetrics, compute_metrics
 from .asciichart import ascii_chart, multi_series_chart, sparkline
-from .report import format_metric_rows, format_table
+from .report import format_latency_rows, format_metric_rows, format_table
 from .stragglers import job_straggler_ratio, mean_straggler_ratio, stage_straggler_time
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "ascii_chart",
     "multi_series_chart",
     "sparkline",
+    "format_latency_rows",
     "format_metric_rows",
     "format_table",
     "job_straggler_ratio",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_metric_rows"]
+__all__ = ["format_table", "format_metric_rows", "format_latency_rows"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
@@ -36,4 +36,42 @@ def format_metric_rows(results: dict[str, Any], title: str = "") -> str:
     for name, metrics in results.items():
         r = metrics.row()
         rows.append([name] + [r[h] for h in headers[1:]])
+    return format_table(headers, rows, title)
+
+
+_LAT_RESOURCE_ORDER = ("cpu", "network", "disk")
+
+
+def format_latency_rows(stats: dict[str, Any], title: str = "") -> str:
+    """Render :func:`repro.obs.latency.derive_latency` output as a table.
+
+    Latencies are reported in **milliseconds** (allocation latencies are
+    fractions of the 250 ms scheduling interval; whole seconds would all
+    print as 0.00).  Accepts any mapping with Dist-shaped values (objects
+    exposing ``row()``), so it has no import dependency on ``repro.obs``.
+    """
+    headers = ["metric", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"]
+    rows: list[list[Any]] = []
+
+    def add(label: str, d: Any) -> None:
+        if d is None:
+            return
+        r = d.row()
+        rows.append(
+            [label, r["count"]]
+            + [float(r[k]) * 1e3 for k in ("mean", "p50", "p95", "p99", "max")]
+        )
+
+    def ordered(per_resource: dict) -> list:
+        known = [k for k in _LAT_RESOURCE_ORDER if k in per_resource]
+        return known + sorted(set(per_resource) - set(known))
+
+    for group, label in (("alloc_latency", "alloc"), ("queue_wait", "queue_wait")):
+        per_resource = stats.get(group) or {}
+        for r in ordered(per_resource):
+            add(f"{label}[{r}]", per_resource[r])
+    add("placement", stats.get("placement_latency"))
+    add("admission", stats.get("admission_wait"))
+    if not rows:
+        rows.append(["(no samples)", 0, 0.0, 0.0, 0.0, 0.0, 0.0])
     return format_table(headers, rows, title)

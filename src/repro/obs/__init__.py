@@ -1,0 +1,35 @@
+"""Opt-in observability: monotask lifecycle tracing and trace export.
+
+Public surface:
+
+* :mod:`repro.obs.recorder` — ``enable()`` / ``disable()`` / ``RECORDER``
+  (the module-global hook the hot paths read, mirroring
+  ``repro.perf.profile``).
+* :mod:`repro.obs.events` — the event-kind constants and field schema.
+* :mod:`repro.obs.latency` — allocation-latency / queue-wait distributions
+  derived from an event stream.
+* :mod:`repro.obs.export` — JSONL and Chrome Trace Format (Perfetto)
+  serialization plus schema validation.
+"""
+
+from __future__ import annotations
+
+from . import events
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace_files,
+)
+from .latency import RESOURCE_ORDER, Dist, derive_latency, dist, percentile
+from .recorder import RECORDER, TraceRecorder, disable, enable
+
+__all__ = [
+    "events",
+    "TraceRecorder", "RECORDER", "enable", "disable",
+    "Dist", "dist", "percentile", "derive_latency", "RESOURCE_ORDER",
+    "write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",
+    "write_trace_files", "validate_chrome_trace",
+]

@@ -1,0 +1,58 @@
+"""Event schema for monotask lifecycle tracing.
+
+Every event is a plain dict — JSONL-ready, picklable, order-preserving —
+with three fields always present:
+
+* ``t``    — simulation time in seconds (never wall clock: traces are as
+  deterministic as the simulation that produced them);
+* ``kind`` — one of the constants below;
+* ``unit`` — label of the simulation unit the event belongs to (one label
+  per independent simulation; the Chrome-trace exporter maps each unit to
+  its own Perfetto process so overlapping t=0 clocks never collide).
+
+The remaining fields are kind-specific (see each constant).  ``rtype`` is
+always the :class:`~repro.dataflow.graph.ResourceType` *value* string
+(``"cpu"`` / ``"network"`` / ``"disk"``), and jobs / tasks / monotasks are
+referenced by their integer ids, so a trace can outlive the objects.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "JOB_SUBMIT", "JOB_ADMIT", "JM_START", "TASK_READY", "SCHED_TICK",
+    "TASK_PLACED", "QUEUE_PUSH", "QUEUE_POP", "MT_START", "RES_RELEASE",
+    "MT_FINISH", "TASK_FINISH", "JOB_FINISH", "ALL_KINDS",
+]
+
+#: job arrived at the admission controller — {job, name, mem_mb, qlen}
+JOB_SUBMIT = "job_submit"
+#: admission granted (memory reserved) — {job, waited, reserved_mb}
+JOB_ADMIT = "job_admit"
+#: the job's JM started (after the creation delay) — {job}
+JM_START = "jm_start"
+#: all parent tasks done; estimates resolved — {job, task, stage, n_mt, input_mb}
+TASK_READY = "task_ready"
+#: one Algorithm-1 scheduling round finished — {assigned}
+SCHED_TICK = "sched_tick"
+#: placement decision — {job, task, worker, score, n_mt} (score = winning F(t,w))
+TASK_PLACED = "task_placed"
+#: monotask entered a per-resource worker queue — {worker, rtype, job, mt, qlen}
+QUEUE_PUSH = "queue_push"
+#: monotask left the queue (resources granted next) — {worker, rtype, job, mt, qlen}
+QUEUE_POP = "queue_pop"
+#: resources granted; monotask starts — {worker, rtype, job, mt, running, bypass}
+MT_START = "mt_start"
+#: worker released the slot / accounted completion — {worker, rtype, mt, running}
+RES_RELEASE = "res_release"
+#: the JM observed the monotask finish — {job, task, mt, rtype, worker}
+MT_FINISH = "mt_finish"
+#: last monotask of the task finished — {job, task, worker}
+TASK_FINISH = "task_finish"
+#: last task of the job finished — {job, jct}
+JOB_FINISH = "job_finish"
+
+ALL_KINDS = frozenset({
+    JOB_SUBMIT, JOB_ADMIT, JM_START, TASK_READY, SCHED_TICK, TASK_PLACED,
+    QUEUE_PUSH, QUEUE_POP, MT_START, RES_RELEASE, MT_FINISH, TASK_FINISH,
+    JOB_FINISH,
+})

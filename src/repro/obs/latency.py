@@ -1,0 +1,156 @@
+"""Allocation-latency / queue-wait distributions derived from a trace.
+
+This is the paper's Obj-2/Obj-4 evidence the aggregate SE/UE metrics can't
+show: per-monotask, how long did it take from *resources requested* (the
+monotask arriving at its worker, ready to run) to *resources granted* (the
+worker starting it)?  Ursa's claim is that per-monotask request-at-ready /
+release-on-completion allocation keeps this latency low even under load.
+
+Derived metrics (all in simulation seconds):
+
+* **allocation latency** (per resource type) — ``mt_start.t − queue_push.t``
+  for queued monotasks; small-network bypass monotasks are granted at the
+  ready instant and contribute ``0.0``.
+* **queue wait** (per resource type) — the same difference, *queued
+  monotasks only* (the bypass lane is excluded, so queue-wait isolates the
+  queueing discipline while allocation latency covers every grant).
+* **placement latency** — ``task_placed.t − task_ready.t``: how long a
+  ready task waited for an Algorithm-1 batch (bounded by the scheduling
+  interval when the cluster has headroom).
+* **admission wait** — taken from the ``waited`` field of ``job_admit``
+  (time spent in the memory-gated admission queue).
+
+Everything here is pure post-processing over the event stream — it never
+reruns a simulation, so ``scripts/trace_stats.py`` can re-derive the tables
+from a JSONL trace file alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from . import events as _ev
+
+__all__ = ["Dist", "percentile", "dist", "derive_latency", "RESOURCE_ORDER"]
+
+RESOURCE_ORDER = ("cpu", "network", "disk")
+
+
+@dataclass(frozen=True)
+class Dist:
+    """Summary of one latency sample set (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    def row(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample.
+
+    Matches ``numpy.percentile``'s default (``linear``) method; pure python
+    so trace post-processing has no hard numpy dependency.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    pos = (len(sorted_values) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
+
+
+def dist(values: Iterable[float]) -> Optional[Dist]:
+    """Summarize a sample; ``None`` for an empty one."""
+    vs = sorted(values)
+    if not vs:
+        return None
+    return Dist(
+        count=len(vs),
+        mean=sum(vs) / len(vs),
+        p50=percentile(vs, 50.0),
+        p95=percentile(vs, 95.0),
+        p99=percentile(vs, 99.0),
+        max=vs[-1],
+    )
+
+
+def derive_latency(events: Iterable[dict]) -> dict:
+    """Derive the latency distributions from an event stream.
+
+    Returns::
+
+        {
+          "alloc_latency": {rtype: Dist},   # every granted monotask
+          "queue_wait":    {rtype: Dist},   # queued monotasks only
+          "placement_latency": Dist | None, # task ready -> placed
+          "admission_wait":    Dist | None, # job submit -> admit
+          "n_events": int,
+          "units": [unit labels in first-seen order],
+        }
+
+    Matching is keyed on ``(unit, job, id)`` so traces holding several
+    simulation units (each with its own t=0 clock) derive correctly.
+    """
+    push_t: dict[tuple, float] = {}
+    ready_t: dict[tuple, float] = {}
+    alloc: dict[str, list[float]] = {r: [] for r in RESOURCE_ORDER}
+    qwait: dict[str, list[float]] = {r: [] for r in RESOURCE_ORDER}
+    placement: list[float] = []
+    admission: list[float] = []
+    units: dict[str, None] = {}
+    n_events = 0
+
+    for ev in events:
+        n_events += 1
+        unit = ev.get("unit", "run")
+        units.setdefault(unit, None)
+        kind = ev["kind"]
+        t = ev["t"]
+        if kind == _ev.QUEUE_PUSH:
+            push_t[(unit, ev["job"], ev["mt"])] = t
+        elif kind == _ev.MT_START:
+            rtype = ev["rtype"]
+            t0 = push_t.pop((unit, ev["job"], ev["mt"]), None)
+            if t0 is None:
+                # bypass lane: granted at the ready instant, zero latency
+                alloc.setdefault(rtype, []).append(0.0)
+            else:
+                alloc.setdefault(rtype, []).append(t - t0)
+                qwait.setdefault(rtype, []).append(t - t0)
+        elif kind == _ev.TASK_READY:
+            ready_t[(unit, ev["job"], ev["task"])] = t
+        elif kind == _ev.TASK_PLACED:
+            t0 = ready_t.pop((unit, ev["job"], ev["task"]), None)
+            if t0 is not None:
+                placement.append(t - t0)
+        elif kind == _ev.JOB_ADMIT:
+            admission.append(ev["waited"])
+
+    return {
+        "alloc_latency": {r: d for r, vs in alloc.items() if (d := dist(vs))},
+        "queue_wait": {r: d for r, vs in qwait.items() if (d := dist(vs))},
+        "placement_latency": dist(placement),
+        "admission_wait": dist(admission),
+        "n_events": n_events,
+        "units": list(units),
+    }

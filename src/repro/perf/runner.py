@@ -31,6 +31,7 @@ import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Optional, Sequence
 
+from ..obs import recorder as _obs
 from .cache import ResultCache
 
 __all__ = ["ParallelRunner", "default_workers"]
@@ -197,6 +198,11 @@ class ParallelRunner:
         return payloads
 
     def _run_and_store(self, sc, spec: _UnitSpec) -> Any:
+        rec = _obs.RECORDER
+        if rec is not None:
+            # label the unit's events so multi-unit traces stay separable
+            # (each unit restarts its sim clock at t=0)
+            rec.begin_unit(f"{spec.experiment}:{spec.key}")
         payload = _execute_unit(spec.experiment, sc, spec.key, spec.seed, spec.kwargs)
         # Round-trip through pickle so the in-process path yields the same
         # object graph a pool worker would: without this, payloads from

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..execution.job import Job
+from ..obs import recorder as _obs
 from .ordering import SchedulingPolicy
 
 __all__ = ["AdmissionController"]
@@ -51,6 +52,12 @@ class AdmissionController:
             )
         self.waiting.append(job)
         self._wait_since[job.job_id] = now
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.job_submit(
+                now, job.job_id, job.category, job.requested_memory_mb,
+                len(self.waiting),
+            )
 
     def release(self, job: Job) -> None:
         self.reserved_mb = max(0.0, self.reserved_mb - job.requested_memory_mb)
@@ -58,6 +65,7 @@ class AdmissionController:
     def admit_ready(self, now: float) -> list[Job]:
         """Admit as many waiting jobs as memory allows, in policy order."""
         admitted: list[Job] = []
+        rec = _obs.RECORDER
         self.waiting.sort(key=lambda j: (self.policy.job_rank(j, now), j.job_id))
         head_blocked = False
         remaining: list[Job] = []
@@ -68,7 +76,11 @@ class AdmissionController:
             if job.requested_memory_mb <= self.available_mb + 1e-9:
                 self.reserved_mb += job.requested_memory_mb
                 admitted.append(job)
-                self._wait_since.pop(job.job_id, None)
+                since = self._wait_since.pop(job.job_id, now)
+                if rec is not None:
+                    rec.job_admit(
+                        now, job.job_id, now - since, job.requested_memory_mb
+                    )
             else:
                 if not head_blocked:
                     self._blocked_head = job

@@ -72,14 +72,19 @@ _NEG_INF = float("-inf")
 
 
 class Assignment:
-    """One placement decision: task → worker."""
+    """One placement decision: task → worker.
 
-    __slots__ = ("jm", "task", "worker")
+    ``score`` carries the winning pure ``F(t, w)`` (no policy bonus) for
+    lifecycle tracing; policies that don't score (e.g. Capacity) leave the
+    default."""
 
-    def __init__(self, jm: "JobManager", task: Task, worker: int):
+    __slots__ = ("jm", "task", "worker", "score")
+
+    def __init__(self, jm: "JobManager", task: Task, worker: int, score: float = 0.0):
         self.jm = jm
         self.task = task
         self.worker = worker
+        self.score = score
 
 
 class ReadyStage:
@@ -227,9 +232,9 @@ class UrsaPlacement(PlacementPolicy):
             # is fresh, and the heap property guarantees every remaining
             # stale score (an upper bound on its fresh score) is <= ours
             placed_ids = set()
-            for task, usage, mem, widx in plan:
+            for task, usage, mem, widx, f in plan:
                 self._commit(views[widx], usage, mem)
-                assignments.append(Assignment(rs.jm, task, widx))
+                assignments.append(Assignment(rs.jm, task, widx, f))
                 placed_ids.add(task.task_id)
             gen += 1
             rs.tasks = [t for t in rs.tasks if t.task_id not in placed_ids]
@@ -274,7 +279,7 @@ class UrsaPlacement(PlacementPolicy):
                     prof.heap_repushes += 1
                 continue
             self._commit(views[widx], self._usage(task), task.est_mem_mb)
-            assignments.append(Assignment(jm, task, widx))
+            assignments.append(Assignment(jm, task, widx, f))
         return assignments
 
     # ------------------------------------------------------------------
@@ -289,7 +294,7 @@ class UrsaPlacement(PlacementPolicy):
         return result
 
     def _stage_score(self, scored, views, touched=None) -> tuple[float, list]:
-        """Score one stage; returns (score, plan of (task, usage, mem, widx)).
+        """Score one stage; returns (score, plan of (task, usage, mem, widx, f)).
 
         The best-worker search is inlined (this plus _best_worker is the
         innermost scheduler loop); term order matches the reference
@@ -350,7 +355,7 @@ class UrsaPlacement(PlacementPolicy):
             if best_view is None:
                 stage_bonus = 0.0
             else:
-                plan.append((task, usage, mem, best_view.index))
+                plan.append((task, usage, mem, best_view.index, best_f))
                 # inlined _commit (same ops in the same order)
                 bd = best_view.d
                 if touched is not None and best_view not in touched:

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Monotask
+from ..obs import recorder as _obs
 from .ordering import SchedulingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,10 +43,18 @@ class QueueEntry:
 
 
 class MonotaskQueue:
-    """An ordered queue of monotasks of one resource type at one worker."""
+    """An ordered queue of monotasks of one resource type at one worker.
 
-    def __init__(self, rtype: ResourceType):
+    ``owner`` (the owning worker's index) and ``clock`` (an object with a
+    ``now`` attribute, normally the simulation) are only needed for
+    lifecycle tracing — queues built without them never emit events, which
+    keeps standalone/unit-test construction unchanged.
+    """
+
+    def __init__(self, rtype: ResourceType, owner: Optional[int] = None, clock=None):
         self.rtype = rtype
+        self._owner = owner
+        self._clock = clock
         self._heap: list[QueueEntry] = []
         self._seq = 0
         # running total of queued input sizes, maintained on push/pop so
@@ -70,6 +79,12 @@ class MonotaskQueue:
         self._seq += 1
         heapq.heappush(self._heap, entry)
         self._work_mb += mt.input_size_mb
+        rec = _obs.RECORDER
+        if rec is not None and self._owner is not None:
+            rec.queue_push(
+                now, self._owner, self.rtype.value, jm.job.job_id, mt.mt_id,
+                len(self._heap),
+            )
 
     def pop(self) -> Optional[QueueEntry]:
         if not self._heap:
@@ -82,6 +97,12 @@ class MonotaskQueue:
             # drains, so float cancellation error cannot accumulate across
             # fill/drain cycles
             self._work_mb = 0.0
+        rec = _obs.RECORDER
+        if rec is not None and self._owner is not None and self._clock is not None:
+            rec.queue_pop(
+                self._clock.now, self._owner, self.rtype.value,
+                entry.jm.job.job_id, entry.mt.mt_id, len(self._heap),
+            )
         return entry
 
     def peek(self) -> Optional[QueueEntry]:
@@ -97,5 +118,8 @@ class MonotaskQueue:
         """Total queued input size in MB (O(1); maintained incrementally)."""
         return self._work_mb
 
-    def __iter__(self) -> Iterator[QueueEntry]:  # pragma: no cover - debug
-        return iter(self._heap)
+    def __iter__(self) -> Iterator[QueueEntry]:
+        """Yield entries in policy order (the order :meth:`pop` would drain
+        them), not raw heap-array order — a heap's backing list only
+        guarantees its *first* element is the minimum."""
+        return iter(sorted(self._heap))

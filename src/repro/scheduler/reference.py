@@ -94,9 +94,9 @@ class ReferenceUrsaPlacement(PlacementPolicy):
                 heapq.heappush(heap, (-score, seq, rs))
                 continue
             placed_ids = set()
-            for task, widx in plan:
+            for task, widx, f in plan:
                 self._commit(views[widx], task)
-                assignments.append(Assignment(rs.jm, task, widx))
+                assignments.append(Assignment(rs.jm, task, widx, f))
                 placed_ids.add(task.task_id)
             rs.tasks = [t for t in rs.tasks if t.task_id not in placed_ids]
             if rs.tasks:
@@ -115,32 +115,34 @@ class ReferenceUrsaPlacement(PlacementPolicy):
             best = None
             best_score = float("-inf")
             for i, (jm, task) in enumerate(pool):
-                widx, score = self._best_worker(task, views)
+                widx, f = self._best_worker(task, views)
                 if widx is None:
                     continue
-                score += job_policy.placement_bonus(jm.job, now)
+                score = f + job_policy.placement_bonus(jm.job, now)
                 if score > best_score:
-                    best_score, best = score, (i, widx)
+                    best_score, best = score, (i, widx, f)
             if best is None:
                 break
-            i, widx = best
+            i, widx, f = best
             jm, task = pool.pop(i)
             self._commit(views[widx], task)
-            assignments.append(Assignment(jm, task, widx))
+            assignments.append(Assignment(jm, task, widx, f))
         return assignments
 
     # ------------------------------------------------------------------
     # Algorithm 1's StageScore (on a tentative copy of the views)
     # ------------------------------------------------------------------
-    def _stage_score_tentative(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
+    def _stage_score_tentative(
+        self, tasks, views
+    ) -> tuple[float, list[tuple[Task, int, float]]]:
         snaps = [v.snapshot() for v in views]
         result = self._stage_score(tasks, views)
         for v, s in zip(views, snaps):
             v.restore(s)
         return result
 
-    def _stage_score(self, tasks, views) -> tuple[float, list[tuple[Task, int]]]:
-        plan: list[tuple[Task, int]] = []
+    def _stage_score(self, tasks, views) -> tuple[float, list[tuple[Task, int, float]]]:
+        plan: list[tuple[Task, int, float]] = []
         score = 0.0
         stage_bonus = self.stage_bonus
         for task in tasks:
@@ -148,7 +150,7 @@ class ReferenceUrsaPlacement(PlacementPolicy):
             if widx is None:
                 stage_bonus = 0.0
             else:
-                plan.append((task, widx))
+                plan.append((task, widx, f))
                 self._commit(views[widx], task)
                 score += f
         if not plan:

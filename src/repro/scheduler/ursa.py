@@ -31,6 +31,7 @@ from ..dataflow.graph import OpGraph
 from ..dataflow.monotask import Monotask, Task
 from ..execution.job import Job, JobState
 from ..execution.jobmanager import JobManager
+from ..obs import recorder as _obs
 from ..perf import profile as _profile
 from .admission import AdmissionController
 from .ordering import EarliestJobFirst, SchedulingPolicy, SmallestRemainingJobFirst
@@ -237,6 +238,9 @@ class UrsaSystem:
             prof.record_tick(
                 t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, len(assignments)
             )
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.sched_tick(now, len(assignments))
         if self.active_jobs or self.admission.queue_length:
             self._ensure_tick()
 
@@ -247,7 +251,14 @@ class UrsaSystem:
             self._queue_policy.refresh(active, now)
 
     def _dispatch(self, assignments: list[Assignment]) -> None:
+        rec = _obs.RECORDER
         for a in assignments:
+            if rec is not None:
+                # decision first, effects (queue pushes etc.) after it
+                rec.task_placed(
+                    self.sim.now, a.jm.job.job_id, a.task.task_id, a.worker,
+                    a.score, len(a.task.monotasks),
+                )
             self.workers[a.worker].add_assigned_task(a.task)
             a.jm.place_task(a.task, a.worker)
 

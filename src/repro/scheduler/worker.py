@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 from ..cluster.cluster import Cluster
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Monotask, MonotaskState, Task
+from ..obs import recorder as _obs
 from .ordering import SchedulingPolicy
 from .queues import MonotaskQueue
 
@@ -100,7 +101,7 @@ class Worker:
         self.config = config or WorkerConfig()
 
         self.queues: dict[ResourceType, MonotaskQueue] = {
-            r: MonotaskQueue(r) for r in _RES
+            r: MonotaskQueue(r, owner=index, clock=self.sim) for r in _RES
         }
         self.running: dict[ResourceType, int] = {r: 0 for r in _RES}
         self.assigned_work: dict[ResourceType, float] = {r: 0.0 for r in _RES}
@@ -171,7 +172,7 @@ class Worker:
             and mt.input_size_mb < self.config.small_network_mb
         ):
             # latency-sensitive small transfers bypass the queue (§4.2.3)
-            jm.run_monotask(mt, self._small_network_done)
+            self._grant(jm, mt, self._small_network_done, bypass=True)
             return
         self.queues[mt.rtype].push(self.policy, self.sim.now, jm, mt)
         self._maybe_start(mt.rtype)
@@ -188,7 +189,20 @@ class Worker:
             if entry is None:
                 return
             self.running[rtype] += 1
-            entry.jm.run_monotask(entry.mt, self._monotask_done)
+            self._grant(entry.jm, entry.mt, self._monotask_done, bypass=False)
+
+    def _grant(self, jm: "JobManager", mt: Monotask, on_done, *, bypass: bool) -> None:
+        """The single seam through which every monotask start flows — queue
+        pops and the small-network bypass lane alike — so resource-grant
+        instrumentation lives in exactly one place for both the optimized
+        and ``legacy_tick`` reference schedulers."""
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.mt_start(
+                self.sim.now, self.index, mt.rtype.value, jm.job.job_id,
+                mt.mt_id, self.running[mt.rtype], bypass,
+            )
+        jm.run_monotask(mt, on_done)
 
     # ------------------------------------------------------------------
     # completion callbacks
@@ -203,6 +217,14 @@ class Worker:
         self._account_completion(mt)
 
     def _account_completion(self, mt: Monotask) -> None:
+        """The matching release seam: every completion — queued or bypass —
+        is accounted (and traced) here."""
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.res_release(
+                self.sim.now, self.index, mt.rtype.value, mt.mt_id,
+                self.running[mt.rtype],
+            )
         self.assigned_work[mt.rtype] = max(
             0.0, self.assigned_work[mt.rtype] - mt.input_size_mb
         )

@@ -21,6 +21,8 @@ import heapq
 import math
 from typing import Any, Callable, Optional
 
+from ..obs import recorder as _obs
+
 __all__ = ["EventHandle", "Simulation", "SimulationError"]
 
 
@@ -122,6 +124,11 @@ class Simulation:
         # compacted once lazily-cancelled entries dominate it
         self._pending_count = 0
         self._cancelled_in_heap = 0
+        # observability hook, bound once at construction so the step loop
+        # pays a single None check when tracing is off (enable the recorder
+        # before building the Simulation)
+        rec = _obs.RECORDER
+        self._observer = rec.engine_observer if rec is not None else None
 
     # ------------------------------------------------------------------
     # clock
@@ -211,6 +218,8 @@ class Simulation:
             ev._fired = True
             self._pending_count -= 1
             self._fired_count += 1
+            if self._observer is not None:
+                self._observer(ev)
             ev.callback(*ev.args)
             return True
         return False

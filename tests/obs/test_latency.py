@@ -1,0 +1,119 @@
+"""Percentile math and trace-derived latency distributions."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Dist, derive_latency, dist, percentile
+from repro.obs import events as ev
+
+
+# ----------------------------------------------------------------------
+# percentile / dist
+# ----------------------------------------------------------------------
+def test_percentile_matches_numpy_linear_interpolation():
+    values = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.8, 9.7, 9.3])
+    for q in (0.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0):
+        assert percentile(values, q) == pytest.approx(np.percentile(values, q))
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 0.0) == 7.0
+    assert percentile([7.0], 50.0) == 7.0
+    assert percentile([7.0], 100.0) == 7.0
+
+
+def test_percentile_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def test_dist_summary():
+    d = dist([4.0, 1.0, 3.0, 2.0])
+    assert isinstance(d, Dist)
+    assert d.count == 4
+    assert d.mean == pytest.approx(2.5)
+    assert d.p50 == pytest.approx(2.5)
+    assert d.max == 4.0
+    assert d.row()["p95"] == d.p95
+
+
+def test_dist_empty_is_none():
+    assert dist([]) is None
+
+
+# ----------------------------------------------------------------------
+# derive_latency
+# ----------------------------------------------------------------------
+def _e(kind, t, **fields):
+    fields.update(t=t, kind=kind, unit=fields.pop("unit", "run"))
+    return fields
+
+
+def test_queued_monotask_alloc_and_queue_wait():
+    events = [
+        _e(ev.QUEUE_PUSH, 1.0, worker=0, rtype="disk", job=0, mt=7, qlen=1),
+        _e(ev.MT_START, 3.5, worker=0, rtype="disk", job=0, mt=7, running=1,
+           bypass=False),
+    ]
+    stats = derive_latency(events)
+    d = stats["alloc_latency"]["disk"]
+    assert d.count == 1 and d.p50 == pytest.approx(2.5)
+    q = stats["queue_wait"]["disk"]
+    assert q.count == 1 and q.max == pytest.approx(2.5)
+
+
+def test_bypass_monotask_is_zero_alloc_and_excluded_from_queue_wait():
+    events = [
+        _e(ev.MT_START, 2.0, worker=1, rtype="network", job=0, mt=9, running=0,
+           bypass=True),
+    ]
+    stats = derive_latency(events)
+    d = stats["alloc_latency"]["network"]
+    assert d.count == 1 and d.max == 0.0
+    assert "network" not in stats["queue_wait"]
+
+
+def test_placement_and_admission_latency():
+    events = [
+        _e(ev.JOB_ADMIT, 5.0, job=0, waited=4.25, reserved_mb=100.0),
+        _e(ev.TASK_READY, 6.0, job=0, task=3, stage=0, n_mt=2, input_mb=1.0),
+        _e(ev.TASK_PLACED, 6.75, job=0, task=3, worker=2, score=0.5, n_mt=2),
+    ]
+    stats = derive_latency(events)
+    assert stats["placement_latency"].max == pytest.approx(0.75)
+    assert stats["admission_wait"].max == pytest.approx(4.25)
+
+
+def test_units_do_not_cross_match():
+    """Identical (job, mt) ids in different units must stay separate."""
+    events = [
+        _e(ev.QUEUE_PUSH, 1.0, worker=0, rtype="cpu", job=0, mt=1, qlen=1,
+           unit="u1"),
+        # same ids in u2, pushed later: matching across units would yield a
+        # negative latency for u1's start
+        _e(ev.QUEUE_PUSH, 9.0, worker=0, rtype="cpu", job=0, mt=1, qlen=1,
+           unit="u2"),
+        _e(ev.MT_START, 2.0, worker=0, rtype="cpu", job=0, mt=1, running=1,
+           bypass=False, unit="u1"),
+        _e(ev.MT_START, 10.0, worker=0, rtype="cpu", job=0, mt=1, running=1,
+           bypass=False, unit="u2"),
+    ]
+    stats = derive_latency(events)
+    d = stats["alloc_latency"]["cpu"]
+    assert d.count == 2
+    assert d.max == pytest.approx(1.0)
+    assert stats["units"] == ["u1", "u2"]
+
+
+def test_empty_stream():
+    stats = derive_latency([])
+    assert stats["alloc_latency"] == {}
+    assert stats["queue_wait"] == {}
+    assert stats["placement_latency"] is None
+    assert stats["admission_wait"] is None
+    assert stats["n_events"] == 0
+    assert stats["units"] == []

@@ -104,6 +104,29 @@ def test_queue_pop_empty_returns_none():
     assert q.queued_work_mb() == 0.0
 
 
+def test_queue_iter_yields_policy_order_not_heap_order(cluster):
+    """__iter__ must yield entries in the order pop() would drain them.
+
+    A binary heap's backing array only guarantees its first element is the
+    minimum, so iterating the raw array is *not* policy order — the fixture
+    below is chosen so the two orders genuinely differ."""
+    jm = make_jm(cluster, sizes=(10.0, 40.0, 20.0, 50.0, 30.0, 60.0, 5.0))
+    q = MonotaskQueue(ResourceType.CPU)
+    policy = EarliestJobFirst()
+    for mt in _cpu_monotasks(jm):
+        q.push(policy, 0.0, jm, mt)
+
+    iterated = [e.mt.input_size_mb for e in q]
+    assert len(q) == 7  # iteration must not consume the queue
+    raw_heap = [e.mt.input_size_mb for e in q._heap]
+    popped = [q.pop().mt.input_size_mb for _ in range(len(q))]
+
+    assert iterated == popped == [60.0, 50.0, 40.0, 30.0, 20.0, 10.0, 5.0]
+    # the guard that this fixture actually exercises the bug: the raw heap
+    # array is out of policy order for this push sequence
+    assert raw_heap != popped
+
+
 def test_queue_entry_lt_tie_breaks_by_seq(cluster):
     jm = make_jm(cluster, sizes=(5.0, 5.0, 5.0))
     mts = _cpu_monotasks(jm)

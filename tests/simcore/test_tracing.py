@@ -99,6 +99,68 @@ def test_resample_rejects_bad_dt():
         StepSeries().resample(0, 1, 0)
 
 
+def test_value_at_before_t0_returns_initial():
+    """Queries before t=0 extend the initial value backwards."""
+    s = StepSeries(4.0)
+    s.record(2.0, 9.0)
+    assert s.value_at(-1.0) == 4.0
+    assert s.value_at(-1e9) == 4.0
+
+
+def test_integral_clamps_window_to_t0():
+    """The series is defined from t=0: an integral window reaching before
+    t=0 contributes nothing for the negative part."""
+    s = StepSeries(4.0)
+    s.record(2.0, 0.0)
+    assert s.integral(-5.0, 2.0) == pytest.approx(s.integral(0.0, 2.0))
+    assert s.integral(-5.0, 0.0) == 0.0
+
+
+def test_same_instant_overwrite_at_t0():
+    """Overwriting the t=0 breakpoint replaces the initial value."""
+    s = StepSeries(1.0)
+    s.record(0.0, 6.0)
+    assert len(s) == 1
+    assert s.value_at(0.0) == 6.0
+    assert s.value_at(-1.0) == 6.0  # the initial breakpoint itself changed
+
+
+def test_same_instant_overwrite_back_to_previous_value():
+    """A same-instant overwrite may restore the pre-step value; the
+    breakpoint stays but the series reads flat."""
+    s = StepSeries(0.0)
+    s.record(1.0, 2.0)
+    s.record(1.0, 0.0)
+    assert s.value_at(0.5) == 0.0
+    assert s.value_at(1.0) == 0.0
+    assert s.integral(0.0, 2.0) == 0.0
+
+
+def test_resample_truncates_last_partial_window():
+    s = StepSeries(0.0)
+    s.record(0.0, 10.0)
+    grid, avgs = s.resample(0.0, 2.5, 1.0)
+    assert grid == [0.0, 1.0, 2.0]
+    # the last window is [2.0, 2.5) and still averages correctly
+    assert avgs == [pytest.approx(10.0)] * 3
+
+
+def test_resample_grid_excludes_t1_under_float_accumulation():
+    """0.1+0.1+0.1 > 0.3 in floats; the epsilon guard must still stop the
+    grid at exactly three windows instead of emitting a zero-width fourth."""
+    s = StepSeries(1.0)
+    grid, avgs = s.resample(0.0, 0.3, 0.1)
+    assert len(grid) == 3
+    assert grid[0] == 0.0
+    assert avgs == [pytest.approx(1.0)] * 3
+
+
+def test_resample_empty_and_inverted_range():
+    s = StepSeries(1.0)
+    assert s.resample(2.0, 2.0, 1.0) == ([], [])
+    assert s.resample(5.0, 2.0, 1.0) == ([], [])
+
+
 def test_traceset_series_identity_and_names():
     ts = TraceSet()
     a = ts.series("m0.cpu")
@@ -122,6 +184,26 @@ def test_traceset_aggregate_sums_series():
     assert agg.value_at(2.5) == 5.0
     assert agg.value_at(3.5) == 3.0
     assert agg.integral(0, 4.0) == pytest.approx(a.integral(0, 4.0) + b.integral(0, 4.0))
+
+
+def test_traceset_aggregate_empty_selection():
+    ts = TraceSet()
+    agg = ts.aggregate([])
+    assert agg.value_at(0.0) == 0.0
+    assert agg.integral(0.0, 10.0) == 0.0
+
+
+def test_traceset_aggregate_same_instant_changes():
+    """Two series stepping at the same instant fold into one breakpoint."""
+    ts = TraceSet()
+    a = ts.series("a")
+    b = ts.series("b")
+    a.record(1.0, 2.0)
+    b.record(1.0, 3.0)
+    agg = ts.aggregate(["a", "b"])
+    assert agg.value_at(0.5) == 0.0
+    assert agg.value_at(1.0) == 5.0
+    assert len(agg) == 2
 
 
 @settings(max_examples=50, deadline=None)
