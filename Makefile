@@ -1,10 +1,23 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-sim profile trace
+.PHONY: test bench bench-smoke bench-baseline bench-sim profile trace faults-smoke check-docs
 
 test:
 	$(PY) -m pytest -x -q
+
+# Smoke-test the fault layer: run the crash-count × policy sweep at tiny
+# scale (zero-crash rows must match the failure-free system byte-for-byte)
+# and the faults test suite (lineage recovery, retry exhaustion,
+# determinism pins).
+faults-smoke:
+	$(PY) -m repro.experiments --only fig_faults --scale tiny
+	$(PY) -m pytest tests/faults -q
+
+# Markdown link check (README/DESIGN/EXPERIMENTS/docs/) + doctests of every
+# src/repro module that embeds '>>>' examples.
+check-docs:
+	$(PY) scripts/check_docs.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

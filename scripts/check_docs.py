@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Documentation checks: local markdown links + embedded doctests.
+
+Two passes, both offline:
+
+1. **Link check** — every relative link / image target in the repo's
+   markdown docs must exist on disk.  ``http(s):``/``mailto:`` URLs and
+   pure ``#anchor`` fragments are skipped (no network in CI), but an
+   anchorless path's file part is still checked (``DESIGN.md#9-...`` →
+   ``DESIGN.md``).
+2. **Doctest pass** — every module under ``src/repro`` whose source
+   contains a ``>>>`` prompt is imported and run through ``doctest``;
+   a module advertising examples that no longer execute fails the build.
+
+Exit status is non-zero on any broken link or failing doctest, so CI can
+gate on ``python scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: markdown files whose links we guarantee (docs/ is globbed in addition)
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+
+#: inline links/images: [text](target) — target up to the first unescaped ')'
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: schemes that point off-disk and are deliberately not fetched
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[Path]:
+    files = [REPO / name for name in DOC_FILES if (REPO / name).exists()]
+    files.extend(sorted((REPO / "docs").glob("**/*.md")))
+    return files
+
+
+def check_links(files: list[Path]) -> list[str]:
+    errors = []
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        # links inside fenced code blocks are illustrative, not navigable
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO)}: broken link -> {target}")
+    return errors
+
+
+def iter_doctest_modules() -> list[str]:
+    src = REPO / "src"
+    names = []
+    for py in sorted((src / "repro").rglob("*.py")):
+        if ">>>" in py.read_text(encoding="utf-8"):
+            rel = py.relative_to(src).with_suffix("")
+            parts = list(rel.parts)
+            if parts[-1] == "__init__":
+                parts.pop()
+            names.append(".".join(parts))
+    return names
+
+
+def run_doctests(module_names: list[str]) -> list[str]:
+    errors = []
+    for name in module_names:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module)
+        if result.attempted == 0:
+            errors.append(f"{name}: contains '>>>' but doctest found no examples")
+        elif result.failed:
+            errors.append(f"{name}: {result.failed}/{result.attempted} doctest(s) failed")
+        else:
+            print(f"[doctest] {name}: {result.attempted} example(s) OK")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--skip-doctests", action="store_true",
+                        help="only check markdown links")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    files = iter_doc_files()
+    errors = check_links(files)
+    print(f"[links] checked {len(files)} markdown file(s)")
+
+    if not args.skip_doctests:
+        errors.extend(run_doctests(iter_doctest_modules()))
+
+    for err in errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    if not errors:
+        print("docs OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

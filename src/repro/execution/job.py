@@ -16,6 +16,11 @@ class JobState(enum.Enum):
     SUBMITTED = "submitted"   # waiting for admission (memory gate, §4.2.2)
     ADMITTED = "admitted"     # JM created; tasks being scheduled
     DONE = "done"
+    FAILED = "failed"         # killed by the fault layer (retry budget spent
+                              # or the shrunken cluster can never admit it);
+                              # finish_time is still stamped so metrics
+                              # aggregate, and tasks_done records the partial
+                              # result
 
 
 class Job:
@@ -69,6 +74,14 @@ class Job:
         return self.state is JobState.DONE
 
     @property
+    def failed(self) -> bool:
+        return self.state is JobState.FAILED
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
     def jct(self) -> Optional[float]:
         if self.finish_time is None:
             return None
@@ -76,6 +89,13 @@ class Job:
 
     def decrement_remaining(self, rtype: ResourceType, amount: float) -> None:
         self.remaining_work[rtype] = max(0.0, self.remaining_work[rtype] - amount)
+        self.work_version += 1
+
+    def restore_remaining(self, rtype: ResourceType, amount: float) -> None:
+        """Fault layer: completed work lost with a worker must be redone, so
+        it re-enters the SRJF remaining-work estimate (and bumps
+        ``work_version`` so memoized ranks refresh)."""
+        self.remaining_work[rtype] += amount
         self.work_version += 1
 
     def __repr__(self) -> str:  # pragma: no cover

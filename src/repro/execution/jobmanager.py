@@ -289,6 +289,116 @@ class JobManager:
         factor (users/estimators over-provision; UE_mem measures the gap)."""
         return task.est_mem_mb * self.job.memory_accuracy
 
+    # ------------------------------------------------------------------
+    # fault recovery (driven by repro.faults; unused in failure-free runs)
+    # ------------------------------------------------------------------
+    def fault_rewind_task(self, task: Task) -> float:
+        """Rewind a READY / PLACED / DONE task to BLOCKED so the normal
+        ready→place→enqueue path re-executes it from scratch.
+
+        The caller (:class:`repro.faults.injector.FaultController`) has
+        already aborted the task's running monotasks and evicted its queued
+        ones; this method unwinds the JM-side state: placement memory,
+        completion counters, the SRJF remaining-work vector (lost completed
+        work must be redone), and every monotask's resolution state — sizes,
+        shuffle sources and localities are recomputed from fresh metadata at
+        the next ``_mark_ready``.  Returns the input MB of completed +
+        running monotasks whose work is wasted.
+        """
+        job = self.job
+        wasted = 0.0
+        if task.state is TaskState.PLACED and task.worker is not None:
+            machine = self.cluster.machine(task.worker)
+            if self.reserve_task_memory:
+                machine.release_memory(task.est_mem_mb)
+            machine.unuse_memory(self._actual_memory(task))
+        elif task.state is TaskState.DONE:
+            # its placement memory was released at completion
+            job.tasks_done -= 1
+        elif task.state is TaskState.READY:
+            self.ready_tasks.pop(task, None)
+        for mt in task.monotasks:
+            if mt.state is MonotaskState.DONE:
+                wasted += mt.input_size_mb
+                job.restore_remaining(mt.rtype, mt.input_size_mb)
+            elif mt.state is MonotaskState.RUNNING:
+                wasted += mt.input_size_mb
+            mt.state = MonotaskState.PENDING
+            mt.started_at = None
+            mt.finished_at = None
+            mt.sources = None
+            mt.chain_outputs = None
+            mt.input_size_mb = 0.0
+            mt.work_mb = 0.0
+            mt.expected_out_mb = 0.0
+        task.state = TaskState.BLOCKED
+        task.worker = None
+        task.locality = None
+        task.sched_usage = None
+        task._input_mb = None
+        task.remaining_monotasks = len(task.monotasks)
+        task.ready_at = None
+        task.placed_at = None
+        task.finished_at = None
+        return wasted
+
+    def fault_recount_dependencies(self) -> None:
+        """Re-derive ``remaining_parents`` for every non-terminal task after
+        rewinds invalidated the incremental counters.
+
+        A READY task with a rewound parent is pulled back to BLOCKED: the
+        parent's outputs are gone, so it must wait for the re-execution and
+        re-resolve its inputs then.  (Its own resolved inputs, if damaged,
+        already placed it in the restart set — this handles the purely
+        counter-level fallout.)  PLACED and DONE tasks are left alone: any
+        placed task with a rewound parent reads that parent's now-dead data
+        and was therefore itself rewound before this runs.
+        """
+        for task in self.job.plan.tasks:
+            if task.state in (TaskState.DONE, TaskState.PLACED):
+                continue
+            count = sum(1 for p in task.parents if p.state is not TaskState.DONE)
+            task.remaining_parents = count
+            if task.state is TaskState.READY and count > 0:
+                self.ready_tasks.pop(task, None)
+                task.state = TaskState.BLOCKED
+                task.locality = None
+                task.sched_usage = None
+                task._input_mb = None
+                task.ready_at = None
+
+    def fault_recover_ready(self, task: Task) -> None:
+        """Deferred re-ready callback (scheduled with the retry backoff).
+        Guarded: the task may have been re-readied through a parent's
+        completion, rewound again, or its job failed in the meantime."""
+        if self.job.state is not JobState.ADMITTED:
+            return
+        if task.state is TaskState.BLOCKED and task.remaining_parents == 0:
+            self._mark_ready([task])
+
+    def fault_requeue_monotask(self, mt: Monotask) -> None:
+        """Deferred re-enqueue of a grant-timeout victim: the monotask keeps
+        its resolved sizes/sources (its inputs are intact — only the grant
+        was lost) and rejoins its worker's queue through the normal path."""
+        task = mt.task
+        if self.job.state is not JobState.ADMITTED or task is None:
+            return
+        if mt.state is MonotaskState.READY and task.state is TaskState.PLACED:
+            self.backend.enqueue_monotask(self, mt)
+
+    def fault_mark_failed(self, now: float) -> None:
+        """Retry budget exhausted (or the job can never fit the shrunken
+        cluster): stamp a terminal FAILED state.  ``finish_time`` is set so
+        metrics still aggregate, and ``tasks_done`` keeps the partial-result
+        count.  The fault controller tears down placed tasks and notifies
+        the scheduler backend."""
+        self.job.state = JobState.FAILED
+        self.job.finish_time = now
+        self.ready_tasks.clear()
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.job_finish(now, self.job.job_id, self.job.jct or 0.0, failed=True)
+
     def _task_finished(self, task: Task) -> None:
         task.state = TaskState.DONE
         task.finished_at = self.sim.now

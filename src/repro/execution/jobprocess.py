@@ -36,6 +36,12 @@ class JobProcess:
         self.jm = jm
         self.machine = machine
         self.running = 0
+        # mt_id -> the service request / transfer driving it.  Every _finish_*
+        # callback checks membership first: zero-work submissions and
+        # local-only transfers complete through an un-cancellable call_soon,
+        # so after a fault-layer abort the stale completion must fall through
+        # silently instead of re-finishing a rewound monotask.
+        self._inflight: dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     def run(self, mt: Monotask, on_done: DoneCallback) -> None:
@@ -51,6 +57,26 @@ class JobProcess:
         else:
             self._run_disk(mt, on_done)
 
+    def abort_monotask(self, mt: Monotask) -> float:
+        """Fault layer: cancel a RUNNING monotask's in-flight service and
+        release what it held.  Returns the work (MB) it had *completed* when
+        aborted — wasted effort that re-execution will repeat.  The caller
+        owns the monotask-state rewind and the worker-slot accounting."""
+        handle = self._inflight.pop(mt.mt_id, None)
+        if handle is None:
+            return 0.0
+        self.running -= 1
+        if mt.rtype is ResourceType.CPU:
+            if self.jm.reserve_cpu_cores:
+                self.machine.release_cores(1)
+            remaining = self.machine.cpu.cancel(handle)
+            return max(0.0, mt.work_mb - remaining)
+        if mt.rtype is ResourceType.NETWORK:
+            self.jm.cluster.network.cancel(handle)
+            return 0.0
+        remaining = self.machine.disk.cancel(handle)
+        return max(0.0, mt.work_mb - remaining)
+
     # ------------------------------------------------------------------
     def _run_cpu(self, mt: Monotask, on_done: DoneCallback) -> None:
         # Each CPU monotask uses exactly one core at full utilization until
@@ -58,9 +84,13 @@ class JobProcess:
         # executor-model baselines the container already holds the cores.
         if self.jm.reserve_cpu_cores:
             self.machine.reserve_cores(1)
-        self.machine.cpu.submit(mt.work_mb, self._finish_cpu, mt, on_done)
+        self._inflight[mt.mt_id] = self.machine.cpu.submit(
+            mt.work_mb, self._finish_cpu, mt, on_done
+        )
 
     def _finish_cpu(self, mt: Monotask, on_done: DoneCallback) -> None:
+        if mt.mt_id not in self._inflight:
+            return  # aborted by the fault layer after a zero-work call_soon
         if self.jm.reserve_cpu_cores:
             self.machine.release_cores(1)
         real_outputs = self._execute_udf_chain(mt)
@@ -97,11 +127,13 @@ class JobProcess:
 
     def _run_network(self, mt: Monotask, on_done: DoneCallback) -> None:
         sources = mt.sources or []
-        self.jm.cluster.network.start_transfer(
+        self._inflight[mt.mt_id] = self.jm.cluster.network.start_transfer(
             self.machine.index, sources, self._finish_network, mt, on_done
         )
 
     def _finish_network(self, mt: Monotask, on_done: DoneCallback) -> None:
+        if mt.mt_id not in self._inflight:
+            return  # aborted after a local-only call_soon completion
         # Assemble the pulled partition (real payloads when present).
         op = mt.head_op
         out = op.output
@@ -133,9 +165,13 @@ class JobProcess:
         return items if real else None
 
     def _run_disk(self, mt: Monotask, on_done: DoneCallback) -> None:
-        self.machine.disk.submit(mt.work_mb, self._finish_disk, mt, on_done)
+        self._inflight[mt.mt_id] = self.machine.disk.submit(
+            mt.work_mb, self._finish_disk, mt, on_done
+        )
 
     def _finish_disk(self, mt: Monotask, on_done: DoneCallback) -> None:
+        if mt.mt_id not in self._inflight:
+            return  # aborted by the fault layer after a zero-work call_soon
         op = mt.head_op
         out = op.output
         if out is not None:
@@ -170,6 +206,7 @@ class JobProcess:
                 meta.record(handle, mt.partition_index, size, self.machine.index)
 
     def _complete(self, mt: Monotask, on_done: DoneCallback) -> None:
+        self._inflight.pop(mt.mt_id, None)
         self.running -= 1
         mt.state = MonotaskState.DONE
         mt.finished_at = self.jm.sim.now

@@ -111,6 +111,20 @@ class MetadataStore:
             size_mb, location, payload, shard_sizes
         )
 
+    # -- fault layer -------------------------------------------------------
+    def invalidate_machine(self, machine: int) -> list[tuple[int, int]]:
+        """Drop every partition record located on ``machine`` (its data died
+        with the worker) and return the dropped ``(data_id, partition)``
+        keys, sorted, so lineage recovery can decide which producer tasks
+        must re-execute.  External inputs (location ``None``) survive — they
+        model durable HDFS storage, not worker-local shards."""
+        dropped = sorted(
+            key for key, rec in self._records.items() if rec.location == machine
+        )
+        for key in dropped:
+            del self._records[key]
+        return dropped
+
     # -- queries -----------------------------------------------------------
     def has(self, handle: DataHandle, partition: int) -> bool:
         return (handle.data_id, partition) in self._records

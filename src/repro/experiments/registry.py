@@ -25,6 +25,7 @@ from . import (
     fig6_network,
     fig7_stageaware,
     fig8_fig9_fig10_synthetic,
+    fig_faults,
     table1_fig1_single_jobs,
     table2_tpch,
     table3_tpcds,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "fig8": fig8_fig9_fig10_synthetic.run_fig8,
     "fig9": fig8_fig9_fig10_synthetic.run_fig9,
     "fig10": fig8_fig9_fig10_synthetic.run_fig10,
+    "fig_faults": fig_faults.run,
 }
 
 SPLIT_EXPERIMENTS: dict[str, SplitExperiment] = {
@@ -63,6 +65,7 @@ SPLIT_EXPERIMENTS: dict[str, SplitExperiment] = {
     "fig8": fig8_fig9_fig10_synthetic.SPLIT_FIG8,
     "fig9": fig8_fig9_fig10_synthetic.SPLIT_FIG9,
     "fig10": fig8_fig9_fig10_synthetic.SPLIT_FIG10,
+    "fig_faults": fig_faults.SPLIT,
 }
 
 

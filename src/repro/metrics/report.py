@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_metric_rows", "format_latency_rows"]
+__all__ = [
+    "format_table", "format_metric_rows", "format_latency_rows",
+    "format_fault_rows",
+]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
@@ -36,6 +39,31 @@ def format_metric_rows(results: dict[str, Any], title: str = "") -> str:
     for name, metrics in results.items():
         r = metrics.row()
         rows.append([name] + [r[h] for h in headers[1:]])
+    return format_table(headers, rows, title)
+
+
+def format_fault_rows(results: dict[str, Any], title: str = "") -> str:
+    """Render the fault-tolerance sweep (``fig_faults``).
+
+    ``results``: unit key -> ``{"metrics": SystemMetrics, "faults": dict}``
+    where the faults dict is ``FaultStats.as_dict()``.  Columns mix the
+    usual performance metrics with the recovery accounting: tasks restarted,
+    monotasks lost, charged retries, wasted (re-executed) work, mean/max
+    recovery time, and jobs that failed outright.
+    """
+    headers = [
+        "unit", "makespan", "avg_jct", "restarts", "mt_lost", "retries",
+        "wasted_mb", "rec_mean_s", "rec_max_s", "failed",
+    ]
+    rows = []
+    for name, payload in results.items():
+        m = payload["metrics"].row()
+        f = payload["faults"]
+        rows.append([
+            name, m["makespan"], m["avg_jct"], f["tasks_restarted"],
+            f["monotasks_lost"], f["retries_charged"], f["wasted_work_mb"],
+            f["recovery_mean_s"], f["recovery_max_s"], f["jobs_failed"],
+        ])
     return format_table(headers, rows, title)
 
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 __all__ = [
     "JOB_SUBMIT", "JOB_ADMIT", "JM_START", "TASK_READY", "SCHED_TICK",
     "TASK_PLACED", "QUEUE_PUSH", "QUEUE_POP", "MT_START", "RES_RELEASE",
-    "MT_FINISH", "TASK_FINISH", "JOB_FINISH", "ALL_KINDS",
+    "MT_FINISH", "TASK_FINISH", "JOB_FINISH", "WORKER_DOWN", "WORKER_UP",
+    "MT_LOST", "RETRY", "ALL_KINDS",
 ]
 
 #: job arrived at the admission controller — {job, name, mem_mb, qlen}
@@ -48,11 +49,21 @@ RES_RELEASE = "res_release"
 MT_FINISH = "mt_finish"
 #: last monotask of the task finished — {job, task, worker}
 TASK_FINISH = "task_finish"
-#: last task of the job finished — {job, jct}
+#: last task of the job finished — {job, jct}; a job killed by the fault
+#: layer carries an extra ``failed: True`` field (jct is then time-to-failure)
 JOB_FINISH = "job_finish"
+#: fault layer took a worker offline — {worker, cause} (cause: crash|blackout)
+WORKER_DOWN = "worker_down"
+#: a blacked-out worker rejoined the cluster — {worker}
+WORKER_UP = "worker_up"
+#: a queued/running monotask was evicted or aborted —
+#: {worker, rtype, job, task, mt, reason} (reason: crash|lineage|timeout|job_failed)
+MT_LOST = "monotask_lost"
+#: a task restart was charged against its retry budget — {job, task, attempt, reason}
+RETRY = "retry"
 
 ALL_KINDS = frozenset({
     JOB_SUBMIT, JOB_ADMIT, JM_START, TASK_READY, SCHED_TICK, TASK_PLACED,
     QUEUE_PUSH, QUEUE_POP, MT_START, RES_RELEASE, MT_FINISH, TASK_FINISH,
-    JOB_FINISH,
+    JOB_FINISH, WORKER_DOWN, WORKER_UP, MT_LOST, RETRY,
 })

@@ -132,8 +132,31 @@ class TraceRecorder:
     def task_finish(self, t: float, job: int, task: int, worker: int) -> None:
         self.emit(_ev.TASK_FINISH, t, job=job, task=task, worker=worker)
 
-    def job_finish(self, t: float, job: int, jct: float) -> None:
-        self.emit(_ev.JOB_FINISH, t, job=job, jct=jct)
+    def job_finish(self, t: float, job: int, jct: float, failed: bool = False) -> None:
+        # `failed` is only serialized when set so failure-free traces keep
+        # the exact pre-fault-layer schema
+        if failed:
+            self.emit(_ev.JOB_FINISH, t, job=job, jct=jct, failed=True)
+        else:
+            self.emit(_ev.JOB_FINISH, t, job=job, jct=jct)
+
+    def worker_down(self, t: float, worker: int, cause: str) -> None:
+        self.emit(_ev.WORKER_DOWN, t, worker=worker, cause=cause)
+
+    def worker_up(self, t: float, worker: int) -> None:
+        self.emit(_ev.WORKER_UP, t, worker=worker)
+
+    def mt_lost(
+        self, t: float, worker: int, rtype: str, job: int, task: int, mt: int,
+        reason: str,
+    ) -> None:
+        self.emit(
+            _ev.MT_LOST, t, worker=worker, rtype=rtype, job=job, task=task,
+            mt=mt, reason=reason,
+        )
+
+    def retry(self, t: float, job: int, task: int, attempt: int, reason: str) -> None:
+        self.emit(_ev.RETRY, t, job=job, task=task, attempt=attempt, reason=reason)
 
 
 #: The active recorder, or ``None`` when tracing is off.  Hook sites read

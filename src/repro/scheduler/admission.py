@@ -62,6 +62,31 @@ class AdmissionController:
     def release(self, job: Job) -> None:
         self.reserved_mb = max(0.0, self.reserved_mb - job.requested_memory_mb)
 
+    def resize(self, new_total_mb: float, fail_oversized: bool = False) -> list[Job]:
+        """Fault-layer hook: the admittable memory pool shrinks when a worker
+        dies and grows back when it rejoins.  ``reserved_mb`` may temporarily
+        exceed the new total — already-admitted jobs keep their reservations
+        and the gap closes as they finish.
+
+        With ``fail_oversized`` (permanent crashes only — blacked-out
+        capacity returns), waiting jobs whose request can *never* fit the
+        shrunken cluster are removed and returned so the caller can fail
+        them; under a blackout they simply keep waiting for the rejoin.
+        """
+        if new_total_mb <= 0:
+            raise ValueError("resize would leave no admittable memory")
+        self.total_memory_mb = new_total_mb
+        if not fail_oversized:
+            return []
+        doomed = [j for j in self.waiting if j.requested_memory_mb > new_total_mb]
+        if doomed:
+            self.waiting = [
+                j for j in self.waiting if j.requested_memory_mb <= new_total_mb
+            ]
+            for job in doomed:
+                self._wait_since.pop(job.job_id, None)
+        return doomed
+
     def admit_ready(self, now: float) -> list[Job]:
         """Admit as many waiting jobs as memory allows, in policy order."""
         admitted: list[Job] = []

@@ -114,21 +114,32 @@ class PlacementPolicy:
 class _WorkerView:
     """Tentative per-round view of one worker's headroom (tuple-indexed)."""
 
-    __slots__ = ("worker", "index", "d", "mem_available", "inv_rate_ept", "mem_capacity")
+    __slots__ = (
+        "worker", "index", "d", "mem_available", "inv_rate_ept", "mem_capacity",
+        "alive",
+    )
 
     def __init__(self, worker: Worker, index: int, ept: float):
         self.worker = worker
         self.index = index
+        #: the paper's D_r(w) = max(0, (EPT − APT_r(w)) / EPT) per fluid
+        #: resource, where APT_r(w) comes from the worker's rate monitors
         self.d = [
             max(0.0, (ept - worker.apt(r)) / ept) for r in _FLUID
         ]
         self.mem_available = worker.available_memory_mb
         self.mem_capacity = worker.memory_capacity_mb
         rates = worker.processing_rates()
+        #: 1 / (rate_r(w) · EPT): multiplying by estimated usage (MB) gives
+        #: Inc_r(t, w) without a division on the scoring hot path
         self.inv_rate_ept = tuple(1.0 / (max(r, 1e-9) * ept) for r in rates)
+        #: dead workers (fault layer) are skipped by every candidate scan;
+        #: the flag lives on the view so the hot loops stay attribute-local
+        self.alive = worker.alive
 
     @property
     def d_mem(self) -> float:
+        """D_mem(w): the free-memory fraction (§4.2.2)."""
         return self.mem_available / self.mem_capacity
 
     def snapshot(self) -> tuple:
@@ -314,7 +325,10 @@ class UrsaPlacement(PlacementPolicy):
             scanned += len(candidates)
             best_view: Optional[_WorkerView] = None
             best_f = _NEG_INF
+            # inlined F(t, w) = Σ_r D_r(w) · Inc_r(t, w) over the candidates
             for view in candidates:
+                if not view.alive:
+                    continue  # fault layer: dead workers take no placements
                 if mem > view.mem_available + 1e-9:
                     continue
                 d = view.d
@@ -393,11 +407,14 @@ class UrsaPlacement(PlacementPolicy):
             prof.workers_scanned += len(candidates)
         best_view: Optional[_WorkerView] = None
         best_f = _NEG_INF
-        # Inlined F(t, w) over all candidates: the cheap feasibility checks
-        # (memory fit, zero-headroom blocking rule) prune a worker before any
-        # scoring arithmetic runs.  Term order matches _score exactly so the
-        # computed floats are bit-identical to the reference path.
+        # Inlined F(t, w) = Σ_r D_r(w) · Inc_r(t, w) over all candidates: the
+        # cheap feasibility checks (liveness, memory fit, zero-headroom
+        # blocking rule) prune a worker before any scoring arithmetic runs.
+        # Term order matches _score exactly so the computed floats are
+        # bit-identical to the reference path.
         for view in candidates:
+            if not view.alive:
+                continue  # fault layer: dead workers take no placements
             if mem > view.mem_available + 1e-9:
                 continue
             d = view.d
@@ -440,9 +457,14 @@ class UrsaPlacement(PlacementPolicy):
         return best_view.index, best_f
 
     def _score(self, task: Task, usage, view: _WorkerView) -> Optional[float]:
-        """Reference scoring of one (task, worker) pair — kept for tests and
-        the brute-force reference; the hot path inlines this into
-        :meth:`_best_worker`."""
+        """Reference scoring of one (task, worker) pair — the textbook
+        ``F(t, w) = Σ_r D_r(w) · Inc_r(t, w)`` of Algorithm 1, kept for
+        tests and the brute-force reference; the hot path inlines this into
+        :meth:`_best_worker`.  ``None`` means infeasible: the worker is dead,
+        the task's memory does not fit, or some needed resource has zero
+        headroom (the blocking rule)."""
+        if not view.alive:
+            return None  # fault layer: dead workers take no placements
         mem = task.est_mem_mb
         if mem > view.mem_available + 1e-9:
             return None
@@ -453,11 +475,11 @@ class UrsaPlacement(PlacementPolicy):
             u = usage[r]
             if u <= 0.0:
                 continue
-            dr = d[r]
+            dr = d[r]  # D_r(w)
             if dr <= 0.0:
                 # blocking rule: needed resource with zero headroom
                 return None
-            inc = u * inv[r]
+            inc = u * inv[r]  # Inc_r(t, w) = usage_r / (rate_r(w) · EPT)
             if inc > dr:
                 inc = dr  # availability caps the contribution
             f += dr * inc
@@ -465,7 +487,7 @@ class UrsaPlacement(PlacementPolicy):
         if mem > 0.0:
             if d_mem <= 0.0:
                 return None
-            inc_mem = mem / view.mem_capacity
+            inc_mem = mem / view.mem_capacity  # Inc_mem(t, w)
             f += d_mem * min(inc_mem, d_mem)
         return f
 

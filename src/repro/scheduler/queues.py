@@ -16,7 +16,7 @@ remaining work drains).
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Monotask
@@ -114,6 +114,28 @@ class MonotaskQueue:
             entry.key = self._key(policy, now, entry.jm, entry.mt)
         heapq.heapify(self._heap)
 
+    def evict(self, pred: Callable[[QueueEntry], bool]) -> list[QueueEntry]:
+        """Remove every entry matching ``pred`` (fault layer: dead-worker
+        drain, or per-task eviction when a lineage restart pulls a task's
+        queued monotasks back).  Returns the evicted entries in policy order
+        so callers emit deterministic, heap-layout-independent traces; the
+        survivors keep their keys and are re-heapified in place."""
+        if not self._heap:
+            return []
+        evicted = [e for e in self._heap if pred(e)]
+        if not evicted:
+            return []
+        self._heap = [e for e in self._heap if not pred(e)]
+        heapq.heapify(self._heap)
+        if self._heap:
+            for entry in evicted:
+                self._work_mb -= entry.mt.input_size_mb
+        else:
+            # same drain-to-zero pinning as pop()
+            self._work_mb = 0.0
+        evicted.sort()
+        return evicted
+
     def queued_work_mb(self) -> float:
         """Total queued input size in MB (O(1); maintained incrementally)."""
         return self._work_mb
@@ -123,3 +145,17 @@ class MonotaskQueue:
         them), not raw heap-array order — a heap's backing list only
         guarantees its *first* element is the minimum."""
         return iter(sorted(self._heap))
+
+    def __repr__(self) -> str:
+        """Show the queue in policy order (same contract as ``__iter__``):
+        the raw heap array would misleadingly suggest a drain order."""
+        owner = f"@w{self._owner}" if self._owner is not None else ""
+        mts = ", ".join(
+            f"mt{e.mt.mt_id}(j{e.jm.job.job_id})" for e in sorted(self._heap)
+        )
+        return (
+            f"MonotaskQueue({self.rtype.value}{owner}, "
+            f"{len(self._heap)} queued: [{mts}])"
+        )
+
+    __str__ = __repr__

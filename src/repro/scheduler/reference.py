@@ -174,6 +174,10 @@ class ReferenceUrsaPlacement(PlacementPolicy):
         return best_view.index, best_f
 
     def _score(self, task: Task, usage, view: _WorkerView) -> Optional[float]:
+        if not view.alive:
+            # fault layer: same liveness gate (and gate placement) as the
+            # optimized candidate loops, so both modes stay float-identical
+            return None
         mem = task.est_mem_mb
         if mem > view.mem_available + 1e-9:
             return None

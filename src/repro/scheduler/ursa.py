@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter_ns
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..cluster.cluster import Cluster
 from ..dataflow.graph import OpGraph
@@ -37,6 +37,9 @@ from .admission import AdmissionController
 from .ordering import EarliestJobFirst, SchedulingPolicy, SmallestRemainingJobFirst
 from .placement import Assignment, PlacementPolicy, ReadyStage, UrsaPlacement
 from .worker import Worker, WorkerConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan, RetryPolicy
 
 __all__ = ["UrsaConfig", "UrsaSystem"]
 
@@ -61,6 +64,12 @@ class UrsaConfig:
     # no SRJF memoization.  Used by the determinism suite and bench_sim as
     # the bit-identical (but slower) baseline.
     legacy_tick: bool = False
+    # Fault injection (repro.faults).  None or an empty plan schedules
+    # nothing and leaves every code path — floats, event counts, trace
+    # bytes — identical to a failure-free build (pinned by tests/faults).
+    faults: Optional["FaultPlan"] = None
+    # Retry budget for fault-induced re-execution; None = RetryPolicy().
+    retry: Optional["RetryPolicy"] = None
 
     def build_policy(self) -> SchedulingPolicy:
         if self.policy == "ejf":
@@ -128,9 +137,23 @@ class UrsaSystem:
         self.jms: dict[int, JobManager] = {}
         self.active_jobs: set[int] = set()
         self.completed_jobs: list[Job] = []
+        self.failed_jobs: list[Job] = []
         self._next_job_id = 0
         self._rr_jm = 0
         self._tick_scheduled = False
+
+        # Fault layer: only wired when a non-empty plan is configured, so
+        # failure-free runs carry no controller, no scheduled fault events,
+        # and no per-task-completion hook (the JM's on_task_complete lookup
+        # finds nothing on the class).
+        self.fault_controller = None
+        if self.config.faults:
+            from ..faults.injector import FaultController
+
+            self.fault_controller = FaultController(
+                self, self.config.faults, self.config.retry
+            )
+            self.on_task_complete = self.fault_controller.task_completed
 
     # ------------------------------------------------------------------
     # submission API
@@ -195,6 +218,16 @@ class UrsaSystem:
         self.admission.release(job)
         self._try_admit()
 
+    def on_job_failed(self, jm: JobManager) -> None:
+        """Fault layer: a job exhausted its retry budget.  Its admission
+        reservation is returned to the pool, which may unblock waiting
+        jobs — graceful degradation rather than a wedged cluster."""
+        job = jm.job
+        self.active_jobs.discard(job.job_id)
+        self.failed_jobs.append(job)
+        self.admission.release(job)
+        self._try_admit()
+
     # ------------------------------------------------------------------
     # the scheduling loop
     # ------------------------------------------------------------------
@@ -204,6 +237,22 @@ class UrsaSystem:
             self.sim.schedule(self.config.scheduling_interval, self._tick)
 
     def _tick(self) -> None:
+        """One batched scheduling round (Algorithm 1, §4.2.2).
+
+        Every ``scheduling_interval`` seconds the scheduler (1) refreshes
+        job ranks for the ordering policy, (2) optionally resorts worker
+        queues so SRJF keys track drained work, and (3) hands the ready
+        stages to the placement policy, which scores each candidate worker
+        ``w`` for each task ``t`` by the estimated extra completion time
+
+            F(t, w) = Σ_r D_r(w) · Inc_r(t, w)
+
+        where ``D_r(w)`` is worker ``w``'s backlog-drain time for resource
+        ``r`` (derived from APT_r(w), the amount of pending type-r work over
+        the measured processing rate) and ``Inc_r(t, w)`` is the increment
+        task ``t`` would add.  A task is only placed where its queueing
+        delay stays within EPT = scheduling_interval × ept_factor; see
+        :mod:`repro.scheduler.placement` for the per-term computation."""
         self._tick_scheduled = False
         now = self.sim.now
         prof = _profile.PROFILER
@@ -245,6 +294,9 @@ class UrsaSystem:
             self._ensure_tick()
 
     def _refresh_policies(self, now: float) -> None:
+        """Recompute job ranks (EJF: submit order; SRJF: remaining work)
+        that both the placement bonus ``W`` weighting and the worker-queue
+        keys read during this round."""
         active = [self.jms[j].job for j in self.active_jobs]
         self.policy.refresh(active, now)
         if self._queue_policy is not self.policy:
@@ -263,6 +315,10 @@ class UrsaSystem:
             a.jm.place_task(a.task, a.worker)
 
     def _ready_stages(self) -> list[ReadyStage]:
+        """Collect Algorithm 1's candidate set: every READY task of every
+        active job, grouped by stage (stage-aware scoring shares one
+        ``Inc_r`` profile per stage).  Iteration is sorted job id then sorted
+        stage id — determinism requires never exposing set order here."""
         ready: list[ReadyStage] = []
         for job_id in sorted(self.active_jobs):
             jm = self.jms[job_id]
@@ -286,6 +342,11 @@ class UrsaSystem:
     @property
     def all_done(self) -> bool:
         return all(j.state is JobState.DONE for j in self.jobs)
+
+    @property
+    def all_terminal(self) -> bool:
+        """Every job reached DONE or (under fault injection) FAILED."""
+        return all(j.terminal for j in self.jobs)
 
     def makespan(self) -> float:
         if not self.jobs:

@@ -99,6 +99,9 @@ class Worker:
         self.machine = cluster.machine(index)
         self.policy = policy
         self.config = config or WorkerConfig()
+        #: cleared by the fault layer while the worker is crashed / blacked
+        #: out; placement skips dead workers and nothing is enqueued on them
+        self.alive = True
 
         self.queues: dict[ResourceType, MonotaskQueue] = {
             r: MonotaskQueue(r, owner=index, clock=self.sim) for r in _RES
@@ -161,6 +164,60 @@ class Worker:
     def add_assigned_task(self, task: Task) -> None:
         for mt in task.monotasks:
             self.assigned_work[mt.rtype] += mt.input_size_mb
+
+    # ------------------------------------------------------------------
+    # fault-layer hooks (no-ops in failure-free runs)
+    # ------------------------------------------------------------------
+    def is_bypass(self, mt: Monotask) -> bool:
+        """Whether ``mt`` went through the small-network bypass lane (such
+        grants never incremented ``running``, so aborts must not decrement)."""
+        return (
+            mt.rtype is ResourceType.NETWORK
+            and mt.input_size_mb < self.config.small_network_mb
+        )
+
+    def remove_assigned_task(self, task: Task) -> None:
+        """Undo :meth:`add_assigned_task` for a task being torn down: only
+        the not-yet-completed monotasks still count toward the backlog
+        (completed ones were subtracted by :meth:`_account_completion`)."""
+        for mt in task.monotasks:
+            if mt.state is not MonotaskState.DONE:
+                self.assigned_work[mt.rtype] = max(
+                    0.0, self.assigned_work[mt.rtype] - mt.input_size_mb
+                )
+
+    def release_running(self, rtype: ResourceType) -> None:
+        """Free the slot held by an aborted (non-bypass) running monotask.
+        The fault layer calls :meth:`backfill` once teardown is complete, so
+        the slot is not immediately re-granted mid-rewind."""
+        self.running[rtype] -= 1
+
+    def backfill(self) -> None:
+        """Start queued monotasks into any slots freed by aborts."""
+        for rtype in _RES:
+            self._maybe_start(rtype)
+
+    def fault_crash(self) -> None:
+        """Take the worker offline: drop every queued monotask (their tasks
+        are rewound by the fault layer) and zero the load metrics feeding
+        ``APT_r(w)``."""
+        self.alive = False
+        for q in self.queues.values():
+            q.evict(lambda entry: True)
+        self.running = {r: 0 for r in _RES}
+        self.assigned_work = {r: 0.0 for r in _RES}
+
+    def fault_rejoin(self) -> None:
+        """Bring a blacked-out worker back with empty queues and freshly
+        seeded rate monitors, so ``APT_r(w)`` restarts from the nominal
+        hardware rates rather than stale pre-crash samples."""
+        self.alive = True
+        spec = self.machine.spec
+        self.rates = {
+            ResourceType.CPU: _RateMonitor(spec.core_rate_mbps, self.config.rate_window),
+            ResourceType.NETWORK: _RateMonitor(spec.net_mbps, self.config.rate_window),
+            ResourceType.DISK: _RateMonitor(spec.disk_mbps, self.config.rate_window),
+        }
 
     # ------------------------------------------------------------------
     # queue operations (called via the JM backend)

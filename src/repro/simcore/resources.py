@@ -120,6 +120,17 @@ class SharedProcessor:
         self._reallocate()
         return req
 
+    def set_unit_rate(self, unit_rate: float) -> None:
+        """Change the per-unit service rate mid-run (fault layer: straggler /
+        slowdown injection).  Service already delivered is banked at the old
+        rate first, then in-flight requests are rescheduled at the new one —
+        a request sees exactly the integral of the rate over its lifetime."""
+        if unit_rate <= 0 or not math.isfinite(unit_rate):
+            raise ValueError(f"unit_rate must be positive and finite, got {unit_rate!r}")
+        self._advance()
+        self.unit_rate = float(unit_rate)
+        self._reallocate()
+
     def cancel(self, req: ServiceRequest) -> float:
         """Abort a request; returns the amount of work left undone (MB)."""
         if not req.active:

@@ -1,0 +1,85 @@
+"""FaultPlan / RetryPolicy construction, seeding, and validation."""
+
+import doctest
+import pickle
+
+import pytest
+
+import repro.faults.plan as plan_mod
+from repro.faults import (
+    FaultPlan,
+    GrantTimeout,
+    ResourceSlowdown,
+    RetryPolicy,
+    WorkerBlackout,
+    WorkerCrash,
+)
+
+
+def test_module_doctests_pass():
+    res = doctest.testmod(plan_mod)
+    assert res.attempted > 0
+    assert res.failed == 0
+
+
+def test_empty_plan_is_falsy_and_valid():
+    plan = FaultPlan()
+    assert not plan
+    plan.validate(num_workers=1)
+
+
+def test_seeded_is_deterministic_and_picklable():
+    kw = dict(seed=11, num_workers=8, window=(1.0, 20.0), crashes=2,
+              blackouts=1, slowdowns=2, timeouts=1)
+    a, b = FaultPlan.seeded(**kw), FaultPlan.seeded(**kw)
+    assert a == b
+    assert pickle.loads(pickle.dumps(a)) == a
+    assert len(a.events) == 6
+    times = [ev.at for ev in a.events]
+    assert times == sorted(times)
+    assert all(1.0 <= t <= 20.0 for t in times)
+
+
+def test_seeded_crash_targets_are_distinct():
+    plan = FaultPlan.seeded(seed=5, num_workers=6, window=(1.0, 5.0),
+                            crashes=3, blackouts=2)
+    down = [ev.worker for ev in plan.events
+            if isinstance(ev, (WorkerCrash, WorkerBlackout))]
+    assert len(down) == len(set(down)) == 5
+
+
+def test_seeded_rejects_killing_every_worker():
+    with pytest.raises(ValueError):
+        FaultPlan.seeded(seed=0, num_workers=2, window=(1.0, 5.0),
+                         crashes=1, blackouts=1)
+
+
+@pytest.mark.parametrize("bad", [
+    FaultPlan((WorkerCrash(at=1.0, worker=9),)),                # out of range
+    FaultPlan((WorkerCrash(at=0.0, worker=0),)),                # t must be > 0
+    FaultPlan((WorkerBlackout(at=1.0, worker=0, duration=0.0),)),
+    FaultPlan((ResourceSlowdown(at=1.0, worker=0, resource="gpu",
+                                factor=0.5, duration=1.0),)),
+    FaultPlan((ResourceSlowdown(at=1.0, worker=0, resource="cpu",
+                                factor=0.0, duration=1.0),)),
+    FaultPlan((WorkerCrash(at=1.0, worker=0),
+               WorkerCrash(at=2.0, worker=1))),                 # kills them all
+])
+def test_validate_rejects_bad_plans(bad):
+    with pytest.raises(ValueError):
+        bad.validate(num_workers=2)
+
+
+def test_validate_accepts_mixed_plan():
+    FaultPlan((
+        WorkerCrash(at=1.0, worker=0),
+        WorkerBlackout(at=2.0, worker=1, duration=3.0),
+        ResourceSlowdown(at=3.0, worker=2, resource="disk", factor=0.25, duration=2.0),
+        GrantTimeout(at=4.0, worker=3),
+    )).validate(num_workers=4)
+
+
+def test_retry_policy_backoff_sequence():
+    r = RetryPolicy(max_attempts=3, backoff_base=0.5, backoff_factor=2.0)
+    assert r.delay(0) == 0.0
+    assert [r.delay(i) for i in (1, 2, 3)] == [0.5, 1.0, 2.0]

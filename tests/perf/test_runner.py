@@ -32,6 +32,7 @@ def test_every_split_enumerates_units():
         "fig8": 2,           # job types
         "fig9": 1,
         "fig10": 2,          # policies
+        "fig_faults": 6,     # 2 policies × 3 crash counts
     }
     for name, split in SPLIT_EXPERIMENTS.items():
         keys = split.unit_keys(sc)

@@ -231,6 +231,72 @@ def test_queued_work_mb_incremental_tracks_contents(cluster):
     assert q.queued_work_mb() == 0.0
 
 
+def test_repr_shows_policy_order_not_heap_order(cluster):
+    """Satellite-5 regression: repr/str must list entries in the order pop()
+    would drain them.  The sizes below leave the raw heap array out of policy
+    order, so a repr built from ``self._heap`` directly would fail this."""
+    jm = make_jm(cluster, sizes=(10.0, 40.0, 20.0, 50.0, 30.0, 60.0, 5.0))
+    q = MonotaskQueue(ResourceType.CPU, owner=3)
+    policy = EarliestJobFirst()
+    for mt in _cpu_monotasks(jm):
+        q.push(policy, 0.0, jm, mt)
+    assert [e.mt.input_size_mb for e in q._heap] != [
+        e.mt.input_size_mb for e in sorted(q._heap)
+    ]
+
+    text = repr(q)
+    assert text == str(q)
+    assert text.startswith("MonotaskQueue(cpu@w3, 7 queued: [")
+    shown = [part.split("(")[0] for part in text.split("[")[1].rstrip("])").split(", ")]
+    popped = [f"mt{q.pop().mt.mt_id}" for _ in range(len(q))]
+    assert shown == popped
+
+
+def test_repr_of_anonymous_empty_queue():
+    q = MonotaskQueue(ResourceType.DISK)
+    assert repr(q) == "MonotaskQueue(disk, 0 queued: [])"
+
+
+def test_evict_returns_policy_order_and_keeps_survivors(cluster):
+    jm = make_jm(cluster, sizes=(10.0, 40.0, 20.0, 50.0, 30.0, 60.0, 5.0))
+    q = MonotaskQueue(ResourceType.CPU)
+    policy = EarliestJobFirst()
+    for mt in _cpu_monotasks(jm):
+        q.push(policy, 0.0, jm, mt)
+
+    evicted = q.evict(lambda e: e.mt.input_size_mb >= 30.0)
+    assert [e.mt.input_size_mb for e in evicted] == [60.0, 50.0, 40.0, 30.0]
+    assert q.queued_work_mb() == pytest.approx(35.0)
+    assert [q.pop().mt.input_size_mb for _ in range(len(q))] == [20.0, 10.0, 5.0]
+    # eviction on an empty / non-matching queue is a no-op
+    assert q.evict(lambda e: True) == []
+
+
+def test_dead_worker_drains_its_queued_monotasks(cluster):
+    """Satellite-5 regression: crashing a worker must evict every queued
+    monotask (so a later rebuilt placement cannot double-run them) and zero
+    the load metrics that feed APT_r(w)."""
+    from repro.dataflow.monotask import MonotaskState
+    from repro.scheduler.worker import Worker
+
+    jm = make_jm(cluster, sizes=(10.0, 20.0, 30.0))
+    wk = Worker(cluster, 0, EarliestJobFirst())
+    # saturate the grant slots so enqueue() queues instead of running
+    wk.running = {r: wk._limit(r) for r in wk.running}
+    for mt in _cpu_monotasks(jm):
+        wk.enqueue(jm, mt)
+        assert mt.state is MonotaskState.QUEUED
+    assert wk.queued_monotasks == 3
+
+    wk.fault_crash()
+    assert not wk.alive
+    assert wk.queued_monotasks == 0
+    for q in wk.queues.values():
+        assert q.queued_work_mb() == 0.0
+    assert all(v == 0 for v in wk.running.values())
+    assert all(v == 0.0 for v in wk.assigned_work.values())
+
+
 def test_queued_work_mb_zero_after_refill_and_drain(cluster):
     jm = make_jm(cluster, sizes=(0.1, 0.2, 0.7))
     q = MonotaskQueue(ResourceType.CPU)
