@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-sim profile trace faults-smoke check-docs
+.PHONY: test bench bench-smoke bench-baseline bench-sim profile trace faults-smoke check-docs telemetry-smoke metrics-baseline
 
 test:
 	$(PY) -m pytest -x -q
@@ -30,6 +30,20 @@ bench-smoke:
 	$(PY) -m repro.experiments --only fig8 --scale tiny --parallel 2 --cache-dir .repro-cache-smoke
 	$(PY) -m repro.experiments --only fig8 --scale tiny --parallel 2 --cache-dir .repro-cache-smoke
 	rm -rf .repro-cache-smoke
+
+# Smoke-test the telemetry subsystem: run table2 @ tiny with the live
+# dashboard + telemetry export, validate every emitted exposition file,
+# and diff the canonical run against the committed BENCH_metrics.json
+# baseline at zero tolerance.
+telemetry-smoke:
+	$(PY) -m repro.experiments --only table2 --scale tiny --dashboard --telemetry-out telemetry-out
+	$(PY) scripts/metrics_diff.py validate-prom telemetry-out/metrics.prom telemetry-out/scrapes/*.prom
+	$(PY) scripts/metrics_diff.py check
+
+# Regenerate BENCH_metrics.json (the telemetry regression-gate baseline;
+# --measure-overhead also re-times telemetry-off vs telemetry-on).
+metrics-baseline:
+	$(PY) scripts/metrics_diff.py write --measure-overhead --repeats 5
 
 # Regenerate BENCH_harness.json (serial vs parallel vs cached suite time).
 bench-baseline:

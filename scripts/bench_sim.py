@@ -27,7 +27,8 @@ from pathlib import Path
 
 
 def _run_once(
-    n_jobs: int, legacy: bool, profiled: bool = False, traced: bool = False
+    n_jobs: int, legacy: bool, profiled: bool = False, traced: bool = False,
+    telemetry: bool = False,
 ) -> tuple[bytes, float, dict]:
     """One full simulation; returns (metrics bytes, wall seconds, profile).
 
@@ -36,13 +37,17 @@ def _run_once(
     and understate the speedup.  The per-phase counters in the baseline
     come from one extra untimed profiled run.  ``traced=True`` records the
     monotask lifecycle through ``repro.obs`` (also untimed, for the
-    tracing-is-pure-observation identity check and ``--trace-out``).
+    tracing-is-pure-observation identity check and ``--trace-out``);
+    ``telemetry=True`` likewise enables the cluster telemetry collector
+    (unless the caller already enabled one, as the overhead timing in
+    ``scripts/metrics_diff.py`` does around the *timed* repeats).
     """
     from repro.cluster import Cluster
     from repro.experiments.common import SCALES
     from repro.experiments.fig8_fig9_fig10_synthetic import params_for
     from repro.metrics import compute_metrics
     from repro.obs import recorder as obs_recorder
+    from repro.obs import telemetry as obs_telemetry
     from repro.perf import profile as tick_profile
     from repro.scheduler import UrsaConfig, UrsaSystem
     from repro.workloads import submit_workload, synthetic_setting1
@@ -50,6 +55,9 @@ def _run_once(
     rec = obs_recorder.enable() if traced else None
     if rec is not None:
         rec.begin_unit("bench_sim")
+    tel = obs_telemetry.enable() if telemetry else None
+    if tel is not None:
+        tel.begin_unit("bench_sim")
     sc = SCALES["bench"]
     cluster = Cluster(sc.cluster)
     system = UrsaSystem(
@@ -69,12 +77,16 @@ def _run_once(
             tick_profile.disable()
         if traced:
             obs_recorder.disable()
+        if telemetry:
+            obs_telemetry.disable()
     if not system.all_done:
         raise RuntimeError("bench_sim workload did not finish")
     metrics = pickle.dumps(compute_metrics(system))
     extra = prof.as_dict() if prof is not None else {}
     if rec is not None:
         extra["recorder"] = rec
+    if tel is not None:
+        extra["telemetry"] = tel
     return metrics, elapsed, extra
 
 
@@ -88,6 +100,13 @@ def main(argv=None) -> int:
         help="also run once (untimed) with lifecycle tracing enabled and "
              "write trace.jsonl / trace.json under DIR; the traced run is "
              "folded into the metrics-identity check",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="also run once (untimed) with the cluster telemetry collector "
+             "enabled and fold that run into the metrics-identity check "
+             "(wall-clock overhead is measured separately by "
+             "scripts/metrics_diff.py write --measure-overhead)",
     )
     args = parser.parse_args(argv)
 
@@ -121,6 +140,15 @@ def main(argv=None) -> int:
         paths = write_trace_files(rec, args.trace_out)
         print(f"  traced run: {len(rec.events)} events -> {paths['chrome']}",
               file=sys.stderr)
+
+    if args.telemetry:
+        # telemetry is a pure observer too: its run joins the identity check
+        metrics_tel, _, extra = _run_once(args.n_jobs, legacy=False, telemetry=True)
+        identical = identical and metrics_opt == metrics_tel
+        tel = extra["telemetry"]
+        totals = tel.summary()["totals"]
+        print(f"  telemetry run: {totals['grants']:.0f} grants / "
+              f"{totals['releases']:.0f} releases recorded", file=sys.stderr)
     best_opt, best_leg = min(optimized), min(legacy)
     speedup = best_leg / best_opt if best_opt else None
 

@@ -8,7 +8,12 @@ purely from the recorded events::
 
     PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl
     PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --per-unit
+    PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --format csv
     PYTHONPATH=src python scripts/trace_stats.py --validate-chrome traces/trace.json
+
+``--format csv`` writes the same rows as machine-readable CSV (one extra
+leading ``unit`` column; the header row is always emitted) for spreadsheet
+or pandas post-processing.
 
 ``--validate-chrome`` checks a Chrome Trace JSON file against the schema
 subset the exporter emits (the CI smoke job gates on this) and exits
@@ -18,10 +23,26 @@ non-zero on the first invalid document.
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 from collections import Counter
 from pathlib import Path
+
+
+def _write_csv(per_unit_stats: dict, out) -> None:
+    """Emit latency rows as CSV, one leading ``unit`` column per row."""
+    from repro.metrics.report import latency_rows
+
+    writer = csv.writer(out, lineterminator="\n")
+    header_written = False
+    for label, stats in per_unit_stats.items():
+        headers, rows = latency_rows(stats)
+        if not header_written:
+            writer.writerow(["unit"] + headers)
+            header_written = True
+        for row in rows:
+            writer.writerow([label] + row)
 
 
 def _validate_chrome(path: str) -> int:
@@ -52,6 +73,11 @@ def main(argv=None) -> int:
         help="print one table per simulation unit instead of one overall",
     )
     parser.add_argument(
+        "--format", default="table", choices=("table", "csv"),
+        help="output format (default: table); csv implies machine-readable "
+             "output only (no event-count preamble)",
+    )
+    parser.add_argument(
         "--validate-chrome", default=None, metavar="TRACE_JSON",
         help="validate a Chrome Trace JSON export instead of summarizing",
     )
@@ -70,20 +96,24 @@ def main(argv=None) -> int:
         print(f"{args.trace}: empty trace", file=sys.stderr)
         return 1
 
-    kinds = Counter(ev["kind"] for ev in events)
-    print(f"{args.trace}: {len(events)} events")
-    print("  " + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())))
-
     if args.per_unit:
         units: dict[str, list] = {}
         for ev in events:
             units.setdefault(ev.get("unit", "run"), []).append(ev)
-        for label, unit_events in units.items():
-            stats = derive_latency(unit_events)
-            print("\n" + format_latency_rows(stats, title=f"[{label}]"))
+        per_unit_stats = {label: derive_latency(evs) for label, evs in units.items()}
     else:
-        stats = derive_latency(events)
-        title = f"latency distributions ({len(stats['units'])} unit(s))"
+        per_unit_stats = {"all": derive_latency(events)}
+
+    if args.format == "csv":
+        _write_csv(per_unit_stats, sys.stdout)
+        return 0
+
+    kinds = Counter(ev["kind"] for ev in events)
+    print(f"{args.trace}: {len(events)} events")
+    print("  " + ", ".join(f"{k}={n}" for k, n in sorted(kinds.items())))
+    for label, stats in per_unit_stats.items():
+        title = (f"[{label}]" if args.per_unit
+                 else f"latency distributions ({len(stats['units'])} unit(s))")
         print("\n" + format_latency_rows(stats, title=title))
     return 0
 

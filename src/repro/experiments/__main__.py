@@ -18,17 +18,27 @@ Examples::
     # trace monotask lifecycles; writes traces/trace.jsonl + trace.json
     # (open the latter at https://ui.perfetto.dev)
     python -m repro.experiments --trace --only table2 --scale tiny
+
+    # telemetry: live per-unit dashboard panels, or metric files
+    # (telemetry.json / metrics.prom / scrapes/*.prom / dashboard.txt)
+    python -m repro.experiments --dashboard --only table2 --scale tiny
+    python -m repro.experiments --telemetry-out metrics --only fig8 --scale tiny
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
 from ..metrics.report import format_latency_rows
 from ..obs import derive_latency, write_trace_files
+from ..obs import dashboard as obs_dashboard
+from ..obs import promexport
 from ..obs import recorder as obs_recorder
+from ..obs import telemetry as obs_telemetry
 from ..perf import profile as tick_profile
 from ..perf.cache import ResultCache
 from ..perf.runner import ParallelRunner, default_workers
@@ -88,6 +98,22 @@ def main(argv: list[str] | None = None) -> int:
              "implies --trace)",
     )
     parser.add_argument(
+        "--dashboard", action="store_true",
+        help="collect cluster telemetry and print an ASCII dashboard panel "
+             "as each simulation unit finishes (forces serial execution)",
+    )
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="collect cluster telemetry and write telemetry.json, "
+             "metrics.prom, scrapes/*.prom and dashboard.txt under DIR "
+             "(forces serial execution)",
+    )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=1.0, metavar="SEC",
+        help="telemetry resampling interval in simulation seconds "
+             "(default: 1.0)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiment names and exit",
     )
@@ -130,11 +156,23 @@ def main(argv: list[str] | None = None) -> int:
         # their own processes and the parent's recorder would stay empty
         parser.error("--trace requires serial execution; omit --parallel")
 
+    telemetry_on = args.dashboard or args.telemetry_out is not None
+    if telemetry_on and workers:
+        parser.error(
+            "--dashboard/--telemetry-out require serial execution; "
+            "omit --parallel"
+        )
+    if args.telemetry_interval <= 0:
+        parser.error("--telemetry-interval must be > 0")
+
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ParallelRunner(workers=workers, cache=cache)
 
     prof = tick_profile.enable() if args.profile else None
     rec = obs_recorder.enable() if tracing else None
+    tel = obs_telemetry.enable(args.telemetry_interval) if telemetry_on else None
+    if tel is not None and args.dashboard:
+        obs_dashboard.attach_live(tel)
     start = time.perf_counter()
     try:
         run_all(args.scale, only=only, seed=args.seed, runner=runner)
@@ -143,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
             tick_profile.disable()
         if tracing:
             obs_recorder.disable()
+        if telemetry_on:
+            obs_telemetry.disable()
     elapsed = time.perf_counter() - start
     mode = f"{workers} workers" if workers else "serial"
     summary = f"[{mode}] suite completed in {elapsed:.1f} s"
@@ -162,6 +202,24 @@ def main(argv: list[str] | None = None) -> int:
             f"[trace] {len(rec.events)} events across {len(stats['units'])} "
             f"unit(s) -> {paths['jsonl']} and {paths['chrome']} "
             "(open trace.json at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if tel is not None and args.telemetry_out is not None:
+        out_dir = args.telemetry_out
+        os.makedirs(out_dir, exist_ok=True)
+        summary_path = os.path.join(out_dir, "telemetry.json")
+        with open(summary_path, "w", encoding="utf-8") as fh:
+            json.dump(tel.summary(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        prom_path = promexport.write_prom(tel, os.path.join(out_dir, "metrics.prom"))
+        scrapes = promexport.write_prom_series(tel, os.path.join(out_dir, "scrapes"))
+        dash_path = os.path.join(out_dir, "dashboard.txt")
+        with open(dash_path, "w", encoding="utf-8") as fh:
+            fh.write(obs_dashboard.render_dashboard(tel))
+            fh.write("\n")
+        print(
+            f"[telemetry] {len(tel.live_units())} unit(s) -> {summary_path}, "
+            f"{prom_path}, {len(scrapes)} scrape file(s), {dash_path}",
             file=sys.stderr,
         )
     return 0

@@ -7,6 +7,7 @@ chart for eyeballing shapes — alternation, plateaus, crossovers.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 __all__ = ["ascii_chart", "multi_series_chart", "sparkline"]
@@ -14,15 +15,36 @@ __all__ = ["ascii_chart", "multi_series_chart", "sparkline"]
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
+def _finite_max(vals: Sequence[float], floor: float) -> float:
+    """Max over the finite values only; ``floor`` when there are none.
+
+    Autoscaling from ``max(vals)`` directly would poison the span with a
+    single ``inf``/NaN sample (NaN because any comparison against it is
+    False, inf because every finite value then maps to the bottom band).
+    """
+    top = floor
+    for v in vals:
+        if math.isfinite(v) and v > top:
+            top = v
+    return top
+
+
 def sparkline(values: Sequence[float], lo: float = 0.0, hi: float | None = None) -> str:
-    """One-line block-character rendering of a series."""
-    vals = list(values)
+    """One-line block-character rendering of a series.
+
+    Non-finite samples never crash the render: NaN prints as ``·`` (no
+    data), ``+inf``/``-inf`` clamp to the top/bottom block.
+    """
+    vals = [float(v) for v in values]
     if not vals:
         return ""
-    top = hi if hi is not None else max(vals)
+    top = hi if hi is not None else _finite_max(vals, lo)
     span = max(top - lo, 1e-12)
     out = []
     for v in vals:
+        if math.isnan(v):
+            out.append("·")
+            continue
         idx = int((min(max(v, lo), top) - lo) / span * (len(_BLOCKS) - 1))
         out.append(_BLOCKS[idx])
     return "".join(out)
@@ -35,16 +57,22 @@ def ascii_chart(
     hi: float | None = None,
     label: str = "",
 ) -> str:
-    """Multi-row ASCII chart; rows are value bands from hi down to lo."""
-    vals = list(values)
+    """Multi-row ASCII chart; rows are value bands from hi down to lo.
+
+    NaN samples render as blank columns; infinities clamp to the band
+    edges (same contract as :func:`sparkline`).
+    """
+    vals = [float(v) for v in values]
     if not vals:
         return f"{label} (empty)"
-    top = hi if hi is not None else max(max(vals), lo + 1e-9)
+    top = hi if hi is not None else max(_finite_max(vals, lo), lo + 1e-9)
     span = max(top - lo, 1e-12)
     rows = []
     for row in range(height, 0, -1):
         cutoff = lo + span * (row - 0.5) / height
-        line = "".join("█" if v >= cutoff else " " for v in vals)
+        line = "".join(
+            "█" if not math.isnan(v) and v >= cutoff else " " for v in vals
+        )
         axis = f"{lo + span * row / height:7.1f} |"
         rows.append(axis + line)
     rows.append(" " * 8 + "+" + "-" * len(vals))

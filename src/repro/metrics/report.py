@@ -6,7 +6,7 @@ from typing import Any, Sequence
 
 __all__ = [
     "format_table", "format_metric_rows", "format_latency_rows",
-    "format_fault_rows",
+    "format_fault_rows", "latency_rows",
 ]
 
 
@@ -70,25 +70,26 @@ def format_fault_rows(results: dict[str, Any], title: str = "") -> str:
 _LAT_RESOURCE_ORDER = ("cpu", "network", "disk")
 
 
-def format_latency_rows(stats: dict[str, Any], title: str = "") -> str:
-    """Render :func:`repro.obs.latency.derive_latency` output as a table.
+_LAT_FIELDS = ("mean", "p25", "p50", "p75", "p95", "p99", "max")
+_LAT_HEADERS = ["metric", "count"] + [f"{k}_ms" for k in _LAT_FIELDS]
+
+
+def latency_rows(stats: dict[str, Any]) -> tuple[list[str], list[list[Any]]]:
+    """``(headers, rows)`` for :func:`repro.obs.latency.derive_latency` output.
 
     Latencies are reported in **milliseconds** (allocation latencies are
     fractions of the 250 ms scheduling interval; whole seconds would all
     print as 0.00).  Accepts any mapping with Dist-shaped values (objects
     exposing ``row()``), so it has no import dependency on ``repro.obs``.
+    Shared by the plain-text table and ``trace_stats.py --format csv``.
     """
-    headers = ["metric", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"]
     rows: list[list[Any]] = []
 
     def add(label: str, d: Any) -> None:
         if d is None:
             return
         r = d.row()
-        rows.append(
-            [label, r["count"]]
-            + [float(r[k]) * 1e3 for k in ("mean", "p50", "p95", "p99", "max")]
-        )
+        rows.append([label, r["count"]] + [float(r[k]) * 1e3 for k in _LAT_FIELDS])
 
     def ordered(per_resource: dict) -> list:
         known = [k for k in _LAT_RESOURCE_ORDER if k in per_resource]
@@ -101,5 +102,11 @@ def format_latency_rows(stats: dict[str, Any], title: str = "") -> str:
     add("placement", stats.get("placement_latency"))
     add("admission", stats.get("admission_wait"))
     if not rows:
-        rows.append(["(no samples)", 0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        rows.append(["(no samples)", 0] + [0.0] * len(_LAT_FIELDS))
+    return list(_LAT_HEADERS), rows
+
+
+def format_latency_rows(stats: dict[str, Any], title: str = "") -> str:
+    """Render :func:`repro.obs.latency.derive_latency` output as a table."""
+    headers, rows = latency_rows(stats)
     return format_table(headers, rows, title)

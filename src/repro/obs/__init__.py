@@ -10,11 +10,19 @@ Public surface:
   derived from an event stream.
 * :mod:`repro.obs.export` — JSONL and Chrome Trace Format (Perfetto)
   serialization plus schema validation.
+* :mod:`repro.obs.telemetry` — aggregated cluster metrics (counters,
+  gauges, exact busy-time integrals, streaming histograms); its
+  ``enable``/``disable`` clash with the recorder's, so access it via the
+  submodule (``from repro.obs import telemetry``).
+* :mod:`repro.obs.timeseries` — the series primitives telemetry builds on.
+* :mod:`repro.obs.promexport` — Prometheus/OpenMetrics text exposition of
+  a telemetry collector, plus a line-format validator.
+* :mod:`repro.obs.dashboard` — ASCII dashboard panels over telemetry.
 """
 
 from __future__ import annotations
 
-from . import events
+from . import dashboard, events, promexport, telemetry, timeseries
 from .export import (
     chrome_trace,
     read_jsonl,
@@ -27,7 +35,7 @@ from .latency import RESOURCE_ORDER, Dist, derive_latency, dist, percentile
 from .recorder import RECORDER, TraceRecorder, disable, enable
 
 __all__ = [
-    "events",
+    "events", "telemetry", "timeseries", "promexport", "dashboard",
     "TraceRecorder", "RECORDER", "enable", "disable",
     "Dist", "dist", "percentile", "derive_latency", "RESOURCE_ORDER",
     "write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",

@@ -1,0 +1,146 @@
+"""Live ASCII dashboard over the telemetry collector.
+
+Headless environment, so "live" means: every time a simulation unit ends
+(the collector's ``on_unit_end`` seam), a panel for that unit is printed —
+utilization sparklines per resource, queue-depth and gauge strips, the
+latency table, and a counters line.  ``python -m repro.experiments
+--dashboard`` wires this up; the same renderer produces the end-of-run
+``dashboard.txt`` artifact from a finished collector.
+
+The dashboard is a pure *observer*: it renders from
+:func:`~repro.obs.telemetry.unit_summary` snapshots and never touches the
+simulation, so enabling it cannot perturb experiment results (the
+bit-identity tests in ``tests/obs`` cover telemetry as a whole).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from ..metrics.asciichart import sparkline
+from ..metrics.report import format_latency_rows
+from .latency import Dist
+from .telemetry import RTYPES, TelemetryCollector, UnitTelemetry, unit_summary
+
+__all__ = ["render_unit", "render_dashboard", "attach_live", "PANEL_WIDTH"]
+
+#: sparkline strips are resampled down to this many columns
+PANEL_WIDTH = 64
+
+
+def _resample(series: list, width: int = PANEL_WIDTH) -> list[float]:
+    """Average consecutive chunks so long series fit a terminal row."""
+    n = len(series)
+    if n <= width:
+        return [float(v) for v in series]
+    out = []
+    for k in range(width):
+        lo = k * n // width
+        hi = max((k + 1) * n // width, lo + 1)
+        chunk = series[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def _dist_from_hist(d: dict) -> Optional[Dist]:
+    """Histogram snapshot (``StreamingHistogram.as_dict``) → ``Dist`` row.
+
+    Percentiles are the histogram's interpolated estimates, which is what a
+    dashboard wants (exact samples are the trace recorder's job).
+    """
+    if not d["count"]:
+        return None
+    return Dist(count=d["count"], mean=d["mean"], p25=d["p25"], p50=d["p50"],
+                p75=d["p75"], p95=d["p95"], p99=d["p99"], max=d["max"])
+
+
+def _strip(label: str, series: list, peak: float, mean: float,
+           hi: Optional[float], fmt: str = "{:.2f}") -> str:
+    spark = sparkline(_resample(series), 0.0, hi)
+    return (f"  {label:>12s} |{spark}| "
+            f"mean {fmt.format(mean)}  peak {fmt.format(peak)}")
+
+
+def render_unit(u: UnitTelemetry) -> str:
+    """One dashboard panel for a finished (or sealed-in-progress) unit."""
+    s = unit_summary(u)
+    c = s["counters"]
+    lines = []
+    head = (f"unit {u.label}  t={s['sim_end']:.1f}s  "
+            f"events={s['engine_events']}")
+    lines.append("┌" + "─" * (PANEL_WIDTH + 14) + "┐")
+    lines.append("  " + head)
+    lines.append("")
+    lines.append("  utilization (fraction of concurrency limit)")
+    for rtype in RTYPES:
+        util = s["utilization"][rtype]
+        # network bypass runs outside the slot limit, so cap the scale at
+        # the observed max rather than clamping >1.0 samples away
+        peak = max(util["series"], default=0.0)
+        lines.append(_strip(rtype, util["series"], peak=peak,
+                            mean=util["mean"], hi=max(1.0, peak)))
+    lines.append("")
+    lines.append("  queue depth (monotasks, summed over workers)")
+    for rtype in RTYPES:
+        q = s["queues"][rtype]
+        lines.append(_strip(rtype, q["depth_series"],
+                            peak=q["depth_worker_peak"],
+                            mean=q["depth_mean"], hi=None, fmt="{:.1f}"))
+    lines.append("")
+    adm = s["admission_queue"]
+    run = s["running_jobs"]
+    lines.append(_strip("admission q", adm["series"], peak=adm["peak"],
+                        mean=adm["mean"], hi=None, fmt="{:.1f}"))
+    lines.append(_strip("running jobs", run["series"], peak=run["peak"],
+                        mean=run["mean"], hi=None, fmt="{:.1f}"))
+    lines.append("")
+    stats = {
+        "alloc_latency": {
+            r: d for r in RTYPES
+            if (d := _dist_from_hist(s["alloc_latency"][r])) is not None
+        },
+        "admission_wait": _dist_from_hist(s["admission_wait"]),
+    }
+    table = format_latency_rows(stats, title="  latency (histogram estimates)")
+    lines.extend("  " + ln for ln in table.splitlines())
+    lines.append("")
+    jct = s["jct"]
+    lines.append(
+        f"  jobs: {c['jobs_completed']}/{c['jobs_submitted']} done"
+        f" ({c['jobs_failed']} failed)  jct p50 {jct['p50']:.1f}s"
+        f" p95 {jct['p95']:.1f}s"
+    )
+    lines.append(
+        f"  grants {c['grants']} (bypass {c['bypass_grants']})"
+        f"  releases {c['releases']}  aborts {c['aborts']}"
+        f"  evicted {c['queue_evicted']}"
+    )
+    if c["worker_down"] or c["retries"] or c["monotasks_lost"]:
+        f = s["faults"]
+        lines.append(
+            f"  faults: down {c['worker_down']}  retries {c['retries']}"
+            f"  mt lost {c['monotasks_lost']}"
+            f"  wasted {c['wasted_work_mb']:.0f} MB"
+            f"  recovery mean {f['recovery_mean_s']:.1f}s"
+        )
+    lines.append("└" + "─" * (PANEL_WIDTH + 14) + "┘")
+    return "\n".join(lines)
+
+
+def render_dashboard(tel: TelemetryCollector) -> str:
+    """Panels for every non-empty unit of a (finished) collector."""
+    panels = [render_unit(u) for u in tel.live_units().values()]
+    if not panels:
+        return "(no telemetry units recorded)"
+    return "\n".join(panels)
+
+
+def attach_live(tel: TelemetryCollector, stream: Optional[TextIO] = None) -> None:
+    """Print each unit's panel as soon as the unit ends."""
+    out = stream if stream is not None else sys.stdout
+
+    def _on_unit_end(u: UnitTelemetry) -> None:
+        print(render_unit(u), file=out, flush=True)
+
+    tel.on_unit_end = _on_unit_end

@@ -40,20 +40,37 @@ RESOURCE_ORDER = ("cpu", "network", "disk")
 
 @dataclass(frozen=True)
 class Dist:
-    """Summary of one latency sample set (seconds)."""
+    """Summary of one latency sample set (seconds).
+
+    Zero-value contract: :meth:`zero` is the canonical empty summary —
+    ``count == 0`` and every statistic exactly ``0.0``.  Consumers that
+    need a row for an empty sample (the dashboard's latency panel, CSV
+    export) render ``Dist.zero()`` rather than special-casing ``None``;
+    a ``Dist`` with ``count == 0`` never means "zero-latency samples".
+    For a single sample every percentile equals that sample.
+    """
 
     count: int
     mean: float
+    p25: float
     p50: float
+    p75: float
     p95: float
     p99: float
     max: float
+
+    @classmethod
+    def zero(cls) -> "Dist":
+        return cls(count=0, mean=0.0, p25=0.0, p50=0.0, p75=0.0,
+                   p95=0.0, p99=0.0, max=0.0)
 
     def row(self) -> dict:
         return {
             "count": self.count,
             "mean": self.mean,
+            "p25": self.p25,
             "p50": self.p50,
+            "p75": self.p75,
             "p95": self.p95,
             "p99": self.p99,
             "max": self.max,
@@ -79,15 +96,23 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
     return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
 
 
-def dist(values: Iterable[float]) -> Optional[Dist]:
-    """Summarize a sample; ``None`` for an empty one."""
+def dist(values: Iterable[float], empty_zero: bool = False) -> Optional[Dist]:
+    """Summarize a sample.
+
+    Empty input returns ``None`` by default (absent metric), or the
+    explicit :meth:`Dist.zero` summary with ``empty_zero=True`` for
+    consumers that always render a row.  A single-sample input is valid:
+    every percentile (p25 through p99) equals the sample.
+    """
     vs = sorted(values)
     if not vs:
-        return None
+        return Dist.zero() if empty_zero else None
     return Dist(
         count=len(vs),
         mean=sum(vs) / len(vs),
+        p25=percentile(vs, 25.0),
         p50=percentile(vs, 50.0),
+        p75=percentile(vs, 75.0),
         p95=percentile(vs, 95.0),
         p99=percentile(vs, 99.0),
         max=vs[-1],

@@ -1,0 +1,408 @@
+"""Prometheus text exposition of a :class:`~repro.obs.telemetry.TelemetryCollector`.
+
+Two products, both plain text in the Prometheus exposition format (the
+``# HELP`` / ``# TYPE`` dialect every scraper and ``promtool`` accepts):
+
+* :func:`render_prom` / :func:`write_prom` — one **snapshot-at-end**
+  document: counters, utilization/queue gauges, and the classic-histogram
+  expansion (cumulative ``le`` buckets + ``_sum`` + ``_count``) of the
+  allocation-latency / admission-wait / JCT histograms, labelled by
+  ``{unit, resource, worker}``.
+* :func:`write_prom_series` — **per-interval scrape files**
+  (``scrape_00000.prom`` …), one per resampling interval, each holding the
+  cluster gauges as they stood during that interval.  Replaying them in
+  order through a scraper reproduces the run as a live time series.
+
+:func:`validate_prom` is the line-format checker the CI smoke job and
+``tests/obs`` run over every emitted file: metric-name and label syntax,
+sample-line shape, HELP/TYPE presence, and histogram bucket monotonicity.
+
+Everything here is derived from simulation state — no wall-clock time, so
+the emitted text is deterministic and diffable across runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .telemetry import RTYPES, TelemetryCollector, UnitTelemetry
+
+__all__ = ["render_prom", "write_prom", "write_prom_series", "validate_prom"]
+
+_PREFIX = "ursa"
+
+
+def _esc(value: str) -> str:
+    return (
+        str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def _labels(**kv) -> str:
+    inner = ",".join(f'{k}="{_esc(v)}"' for k, v in kv.items() if v is not None)
+    return "{" + inner + "}" if inner else ""
+
+
+def _num(v) -> str:
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+class _Doc:
+    """Accumulates families so HELP/TYPE appear once per metric name."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._seen: set[str] = set()
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        if name in self._seen:
+            return
+        self._seen.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(self, name: str, value, **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_num(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+#: counter-key -> (metric suffix, help) for the plain event counters
+_COUNTER_METRICS = {
+    "grants": ("monotask_grants_total", "Resource grants issued (bypass lane included)"),
+    "bypass_grants": ("monotask_bypass_grants_total", "Grants through the small-network bypass lane"),
+    "releases": ("monotask_releases_total", "Grants released by normal completion"),
+    "aborts": ("monotask_aborts_total", "Grants torn down by the fault layer"),
+    "queue_pushes": ("queue_pushes_total", "Monotasks pushed into worker queues"),
+    "queue_pops": ("queue_pops_total", "Monotasks popped from worker queues"),
+    "queue_evicted": ("queue_evictions_total", "Monotasks evicted from worker queues by faults"),
+    "jobs_submitted": ("jobs_submitted_total", "Jobs submitted to admission"),
+    "jobs_admitted": ("jobs_admitted_total", "Jobs admitted (memory reserved)"),
+    "jobs_started": ("jobs_started_total", "Job managers started"),
+    "jobs_completed": ("jobs_completed_total", "Jobs completed successfully"),
+    "jobs_failed": ("jobs_failed_total", "Jobs failed (retry budget or doomed while waiting)"),
+    "sched_ticks": ("sched_ticks_total", "Batched scheduling rounds executed"),
+    "tasks_assigned": ("tasks_assigned_total", "Tasks placed by Algorithm 1"),
+    "retries": ("task_retries_total", "Task retry attempts charged"),
+    "monotasks_lost": ("monotasks_lost_total", "Monotasks lost to faults"),
+    "worker_down": ("worker_down_total", "Worker crash/blackout events"),
+    "worker_up": ("worker_up_total", "Worker rejoin events"),
+    "wasted_work_mb": ("wasted_work_mb_total", "Input MB of lost work that must be re-executed"),
+}
+
+_HIST_HELP = {
+    "alloc_latency_seconds": "Queue-push to resource-grant latency per monotask",
+    "admission_wait_seconds": "Job submit to admission wait",
+    "jct_seconds": "Job completion time",
+}
+
+
+def _emit_hist(doc: _Doc, name: str, hist, **labels) -> None:
+    full = f"{_PREFIX}_{name}"
+    doc.family(full, "histogram", _HIST_HELP.get(name, name))
+    running = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        running += count
+        doc.sample(f"{full}_bucket", running, **labels, le=_num(bound))
+    doc.sample(f"{full}_bucket", hist.count, **labels, le="+Inf")
+    doc.sample(f"{full}_sum", hist.total, **labels)
+    doc.sample(f"{full}_count", hist.count, **labels)
+
+
+def render_prom(tel: TelemetryCollector) -> str:
+    """Render the whole collector as one exposition-format document."""
+    doc = _Doc()
+    live = tel.live_units()
+    for label in sorted(live):
+        _render_unit(doc, live[label])
+    return doc.text()
+
+
+def _render_unit(doc: _Doc, u: UnitTelemetry) -> None:
+    unit = u.label
+    end = u.end_time()
+
+    doc.family(f"{_PREFIX}_sim_end_seconds", "gauge", "Final simulation clock of the unit")
+    doc.sample(f"{_PREFIX}_sim_end_seconds", end, unit=unit)
+    doc.family(f"{_PREFIX}_engine_events_total", "counter", "Simulation events fired")
+    doc.sample(f"{_PREFIX}_engine_events_total", u.engine_events, unit=unit)
+
+    for key, (suffix, help_text) in _COUNTER_METRICS.items():
+        full = f"{_PREFIX}_{suffix}"
+        doc.family(full, "counter", help_text)
+        doc.sample(full, u.counters[key], unit=unit)
+
+    doc.family(f"{_PREFIX}_resource_capacity", "gauge",
+               "Total concurrency slots per resource across live workers")
+    doc.family(f"{_PREFIX}_utilization_mean", "gauge",
+               "Time-weighted mean utilization (active / capacity) over the run")
+    doc.family(f"{_PREFIX}_busy_seconds_total", "counter",
+               "Exact busy time integrated from grant/release edges")
+    for rtype in RTYPES:
+        workers = sorted(w for (w, r) in u.busy if r == rtype)
+        cap = sum(u.capacity.get((w, rtype), 0) for w in workers)
+        integral = sum(u.busy[(w, rtype)].integral for w in workers)
+        busy_s = sum(u.busy[(w, rtype)].busy_seconds for w in workers)
+        doc.sample(f"{_PREFIX}_resource_capacity", cap, unit=unit, resource=rtype)
+        doc.sample(
+            f"{_PREFIX}_utilization_mean",
+            integral / (cap * end) if cap and end > 0 else 0.0,
+            unit=unit, resource=rtype,
+        )
+        doc.sample(f"{_PREFIX}_busy_seconds_total", busy_s, unit=unit, resource=rtype)
+
+    doc.family(f"{_PREFIX}_worker_busy_seconds_total", "counter",
+               "Per-worker exact busy time per resource")
+    for (w, rtype) in sorted(u.busy):
+        doc.sample(
+            f"{_PREFIX}_worker_busy_seconds_total", u.busy[(w, rtype)].busy_seconds,
+            unit=unit, worker=w, resource=rtype,
+        )
+
+    doc.family(f"{_PREFIX}_queue_depth_mean", "gauge",
+               "Time-weighted mean queued monotasks across workers")
+    doc.family(f"{_PREFIX}_queued_mb_mean", "gauge",
+               "Time-weighted mean queued input MB across workers")
+    for rtype in RTYPES:
+        accs = [u.queue[k] for k in sorted(u.queue) if k[1] == rtype]
+        for acc in accs:
+            acc.advance(end)
+        depth = sum(a.int_a for a in accs) / end if end > 0 else 0.0
+        mb = sum(a.int_b for a in accs) / end if end > 0 else 0.0
+        doc.sample(f"{_PREFIX}_queue_depth_mean", depth, unit=unit, resource=rtype)
+        doc.sample(f"{_PREFIX}_queued_mb_mean", mb, unit=unit, resource=rtype)
+
+    doc.family(f"{_PREFIX}_admission_queue_mean", "gauge",
+               "Time-weighted mean admission-queue length")
+    doc.sample(
+        f"{_PREFIX}_admission_queue_mean",
+        u.admission_q.integral / end if end > 0 else 0.0, unit=unit,
+    )
+    doc.family(f"{_PREFIX}_running_jobs_mean", "gauge",
+               "Time-weighted mean concurrently-running jobs")
+    doc.sample(
+        f"{_PREFIX}_running_jobs_mean",
+        u.running_jobs.integral / end if end > 0 else 0.0, unit=unit,
+    )
+    doc.family(f"{_PREFIX}_running_jobs_peak", "gauge", "Peak concurrently-running jobs")
+    doc.sample(f"{_PREFIX}_running_jobs_peak", u.running_jobs.peak, unit=unit)
+
+    for rtype in RTYPES:
+        _emit_hist(doc, "alloc_latency_seconds", u.alloc_hist[rtype],
+                   unit=unit, resource=rtype)
+    _emit_hist(doc, "admission_wait_seconds", u.admission_wait_hist, unit=unit)
+    _emit_hist(doc, "jct_seconds", u.jct_hist, unit=unit)
+
+    rep, rec = u.repair_times, u.recovery_times
+    doc.family(f"{_PREFIX}_fault_repair_seconds_mean", "gauge",
+               "Mean worker downtime (blackout to rejoin)")
+    doc.sample(f"{_PREFIX}_fault_repair_seconds_mean",
+               sum(rep) / len(rep) if rep else 0.0, unit=unit)
+    doc.family(f"{_PREFIX}_fault_recovery_seconds_mean", "gauge",
+               "Mean time from a fault to its last restarted task re-completing")
+    doc.sample(f"{_PREFIX}_fault_recovery_seconds_mean",
+               sum(rec) / len(rec) if rec else 0.0, unit=unit)
+
+
+def write_prom(tel: TelemetryCollector, path) -> Path:
+    """Write the snapshot-at-end exposition document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prom(tel))
+    return path
+
+
+def write_prom_series(tel: TelemetryCollector, out_dir,
+                      unit: Optional[str] = None) -> list[Path]:
+    """Write one scrape file per resampling interval into ``out_dir``.
+
+    Each ``scrape_NNNNN.prom`` holds the cluster gauges (utilization,
+    queue depth, queued MB, admission queue, running jobs) as they stood
+    during interval ``N``.  ``unit`` restricts to one unit; default is all.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    labels = sorted(tel.live_units()) if unit is None else [unit]
+    # per unit: {metric-line-prefix: series}
+    per_unit: dict[str, dict[str, list[float]]] = {}
+    n_files = 0
+    for label in labels:
+        u = tel.units[label]
+        end = u.end_time()
+        series: dict[str, list[float]] = {}
+        for rtype in RTYPES:
+            workers = sorted(w for (w, r) in u.busy if r == rtype)
+            cap = sum(u.capacity.get((w, rtype), 0) for w in workers)
+            summed = _sum([u.busy[(w, rtype)].series(end) for w in workers])
+            series[f"{_PREFIX}_utilization{_labels(unit=label, resource=rtype)}"] = (
+                [x / cap for x in summed] if cap else summed
+            )
+            qaccs = [u.queue[k] for k in sorted(u.queue) if k[1] == rtype]
+            for acc in qaccs:
+                acc.advance(end)
+            series[f"{_PREFIX}_queue_depth{_labels(unit=label, resource=rtype)}"] = _sum(
+                [a.bins_a.series(end) for a in qaccs]
+            )
+            series[f"{_PREFIX}_queued_mb{_labels(unit=label, resource=rtype)}"] = _sum(
+                [a.bins_b.series(end) for a in qaccs]
+            )
+        series[f"{_PREFIX}_admission_queue{_labels(unit=label)}"] = u.admission_q.series(end)
+        series[f"{_PREFIX}_running_jobs{_labels(unit=label)}"] = u.running_jobs.series(end)
+        per_unit[label] = series
+        n_files = max(n_files, max((len(s) for s in series.values()), default=0))
+
+    header = [
+        f"# HELP {_PREFIX}_utilization Mean utilization during this interval",
+        f"# TYPE {_PREFIX}_utilization gauge",
+        f"# HELP {_PREFIX}_queue_depth Mean queued monotasks during this interval",
+        f"# TYPE {_PREFIX}_queue_depth gauge",
+        f"# HELP {_PREFIX}_queued_mb Mean queued input MB during this interval",
+        f"# TYPE {_PREFIX}_queued_mb gauge",
+        f"# HELP {_PREFIX}_admission_queue Mean admission-queue length during this interval",
+        f"# TYPE {_PREFIX}_admission_queue gauge",
+        f"# HELP {_PREFIX}_running_jobs Mean running jobs during this interval",
+        f"# TYPE {_PREFIX}_running_jobs gauge",
+    ]
+    paths: list[Path] = []
+    for k in range(n_files):
+        lines = list(header)
+        lines.append(f"# interval {k} [{k * tel.interval:g}s, {(k + 1) * tel.interval:g}s)")
+        for label in labels:
+            for prefix, s in per_unit[label].items():
+                if k < len(s):
+                    lines.append(f"{prefix} {_num(s[k])}")
+        path = out_dir / f"scrape_{k:05d}.prom"
+        path.write_text("\n".join(lines) + "\n")
+        paths.append(path)
+    return paths
+
+
+def _sum(series_list: list[list[float]]) -> list[float]:
+    if not series_list:
+        return []
+    n = max(len(s) for s in series_list)
+    out = [0.0] * n
+    for s in series_list:
+        for i, v in enumerate(s):
+            out[i] += v
+    return out
+
+
+# ----------------------------------------------------------------------
+# validation (used by the CI smoke job and tests)
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate_prom(text: str) -> list[str]:
+    """Check exposition-format text line by line.  Returns error strings —
+    empty means valid.  Checks: HELP/TYPE syntax, sample-line shape, label
+    syntax, TYPE declared before a family's samples, and cumulative-bucket
+    monotonicity / ``+Inf``-equals-``_count`` for histograms."""
+    errs: list[str] = []
+    typed: dict[str, str] = {}
+    # (base_name, label-set-minus-le) -> [(le, value), ...] and counts
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.fullmatch(parts[2]):
+                    errs.append(f"line {i}: malformed {parts[1]} comment")
+                elif parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        errs.append(f"line {i}: unknown TYPE {line!r}")
+                    else:
+                        typed[parts[2]] = parts[3]
+            continue  # other comments are allowed
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            errs.append(f"line {i}: malformed sample {line!r}")
+            continue
+        name, labels = m.group("name"), m.group("labels")
+        pairs: dict[str, str] = {}
+        if labels:
+            for pair in _split_labels(labels):
+                if not _LABEL_RE.match(pair):
+                    errs.append(f"line {i}: malformed label {pair!r}")
+                else:
+                    k, v = pair.split("=", 1)
+                    pairs[k] = v[1:-1]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            errs.append(f"line {i}: sample {name!r} before any TYPE declaration")
+            continue
+        if typed.get(base) == "histogram":
+            key_labels = tuple(sorted((k, v) for k, v in pairs.items() if k != "le"))
+            value = float(m.group("value"))
+            if name.endswith("_bucket"):
+                le = pairs.get("le")
+                if le is None:
+                    errs.append(f"line {i}: histogram bucket without le label")
+                else:
+                    buckets.setdefault((base, key_labels), []).append(
+                        (float("inf") if le == "+Inf" else float(le), value)
+                    )
+            elif name.endswith("_count"):
+                counts[(base, key_labels)] = value
+
+    for key, bs in buckets.items():
+        les = [le for le, _ in bs]
+        vals = [v for _, v in bs]
+        if les != sorted(les):
+            errs.append(f"{key[0]}: bucket le bounds not sorted for {dict(key[1])}")
+        if vals != sorted(vals):
+            errs.append(f"{key[0]}: bucket counts not cumulative for {dict(key[1])}")
+        if not les or les[-1] != float("inf"):
+            errs.append(f"{key[0]}: missing +Inf bucket for {dict(key[1])}")
+        elif key in counts and counts[key] != vals[-1]:
+            errs.append(f"{key[0]}: _count != +Inf bucket for {dict(key[1])}")
+    return errs
+
+
+def _split_labels(labels: str) -> Iterable[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    out, cur, in_q, esc = [], [], False, False
+    for ch in labels:
+        if esc:
+            cur.append(ch)
+            esc = False
+            continue
+        if ch == "\\":
+            cur.append(ch)
+            esc = True
+            continue
+        if ch == '"':
+            in_q = not in_q
+            cur.append(ch)
+            continue
+        if ch == "," and not in_q:
+            out.append("".join(cur))
+            cur = []
+            continue
+        cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return out

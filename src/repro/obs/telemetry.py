@@ -1,0 +1,591 @@
+"""Opt-in cluster telemetry (same module-global pattern as ``obs.recorder``).
+
+Where the :mod:`~repro.obs.recorder` captures a *per-event trace* (one dict
+per lifecycle event, replayable into Chrome/Perfetto), the telemetry
+collector maintains *aggregated series*: counters, gauges, streaming
+histograms, and — the core of it — **exact busy-time integrals** per worker
+and per resource, computed from grant/release edges rather than sampling.
+A monotask that runs 37 ms contributes exactly 0.037 busy-seconds to its
+worker's resource, no matter how the 1-second resampling grid falls.
+
+The hot paths read one module global (:data:`TELEMETRY`) per hook site and
+branch away while it is ``None``; every hook is a pure observation (no
+scheduling, no mutation, no wall clock), so telemetry-on runs stay
+bit-identical to telemetry-off runs — enforced by ``tests/obs``.
+
+Usage::
+
+    from repro.obs import telemetry
+
+    tel = telemetry.enable(interval=1.0)
+    ...run simulations...
+    summary = telemetry.disable().summary()
+
+or via the CLI: ``python -m repro.experiments --telemetry-out DIR`` /
+``--dashboard`` (both force serial in-process execution, like ``--trace``).
+
+Enable the collector *before* building the
+:class:`~repro.simcore.engine.Simulation`: the engine registers itself at
+construction so per-unit engine event counts and the final simulation time
+can be harvested without a per-event callback (a Python call per engine
+event would dwarf every other hook; lazy harvesting costs nothing).
+
+Series semantics: signals (active monotasks, queue depth, queued MB,
+admission-queue length, running jobs) are piecewise-constant between hook
+edges; :class:`~repro.obs.timeseries.StepAccumulator` folds each segment
+into fixed-``interval`` bins, so ``series[k]`` is the exact time-weighted
+mean over ``[k·interval, (k+1)·interval)``.  Cluster utilization divides
+the summed per-worker active counts by the summed concurrency limits —
+note the network bypass lane (small transfers) runs *outside* the slot
+limit, so network utilization can transiently exceed 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .timeseries import LATENCY_BOUNDS, StepAccumulator, StreamingHistogram, TimeBins
+
+__all__ = ["TelemetryCollector", "UnitTelemetry", "TELEMETRY", "enable", "disable",
+           "unit_summary", "RTYPES", "JCT_BOUNDS"]
+
+RTYPES = ("cpu", "network", "disk")
+
+#: histogram boundaries (seconds) for job-scale durations (JCT, admission
+#: wait) — latencies here are seconds-to-minutes, not milliseconds
+JCT_BOUNDS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+#: counter keys, pre-seeded so every summary has the same shape
+_COUNTER_KEYS = (
+    "grants", "bypass_grants", "releases", "aborts",
+    "queue_pushes", "queue_pops", "queue_evicted",
+    "jobs_submitted", "jobs_admitted", "jobs_started",
+    "jobs_completed", "jobs_failed", "jobs_failed_unadmitted",
+    "sched_ticks", "tasks_assigned",
+    "retries", "monotasks_lost", "worker_down", "worker_up",
+    "wasted_work_mb",
+)
+
+
+class _DualStep:
+    """Two piecewise-constant signals sharing one clock (queue depth and
+    queued MB change at the same instants; folding them together halves the
+    bookkeeping on the push/pop hot path)."""
+
+    __slots__ = ("a", "b", "last_t", "int_a", "int_b", "peak_a", "peak_b",
+                 "bins_a", "bins_b")
+
+    def __init__(self, bin_width: float):
+        self.a = 0.0
+        self.b = 0.0
+        self.last_t = 0.0
+        self.int_a = 0.0
+        self.int_b = 0.0
+        self.peak_a = 0.0
+        self.peak_b = 0.0
+        self.bins_a = TimeBins(bin_width)
+        self.bins_b = TimeBins(bin_width)
+
+    def set2(self, t: float, a: float, b: float) -> None:
+        lt = self.last_t
+        if t > lt:
+            dt = t - lt
+            va = self.a
+            vb = self.b
+            self.int_a += va * dt
+            self.int_b += vb * dt
+            self.bins_a.add(lt, t, va)
+            self.bins_b.add(lt, t, vb)
+            self.last_t = t
+        self.a = a
+        self.b = b
+        if a > self.peak_a:
+            self.peak_a = a
+        if b > self.peak_b:
+            self.peak_b = b
+
+    def advance(self, t: float) -> None:
+        self.set2(t, self.a, self.b)
+
+
+#: opcodes for the deferred-fold log (ints: tuple[0] compares fastest)
+_OP_GRANT, _OP_RELEASE, _OP_ABORT, _OP_QPUSH, _OP_QPOP, _OP_QEVICT, _OP_TICK = range(7)
+
+
+class UnitTelemetry:
+    """All metric state for one simulation unit (one experiment run).
+
+    The high-frequency hooks (grant/release/abort, queue push/pop/evict,
+    scheduler ticks — tens of thousands per run) do **not** aggregate
+    inline: they append an op tuple to :attr:`log`, and :meth:`fold`
+    replays the log into the accumulators the first time a summary, the
+    dashboard, or ``end_time()`` needs them.  The scheduler's timed hot
+    path thus pays one list append per edge instead of dict lookups plus
+    float integration; replay preserves the exact event order, so the
+    folded aggregates are identical to inline aggregation.
+    """
+
+    def __init__(self, label: str, interval: float):
+        self.label = label
+        self.interval = interval
+        #: deferred op log, replayed by fold()
+        self.log: list[tuple] = []
+        self.counters: dict[str, float] = {k: 0 for k in _COUNTER_KEYS}
+        self.counters["wasted_work_mb"] = 0.0
+        #: (worker, rtype) -> concurrency limit, registered by Worker.__init__
+        self.capacity: dict[tuple[int, str], int] = {}
+        #: (worker, rtype) -> active-monotask StepAccumulator
+        self.busy: dict[tuple[int, str], StepAccumulator] = {}
+        #: (worker, rtype) -> (queue depth, queued MB) dual accumulator
+        self.queue: dict[tuple[int, str], _DualStep] = {}
+        self.admission_q = StepAccumulator(interval)
+        self.running_jobs = StepAccumulator(interval)
+        self.alloc_hist = {r: StreamingHistogram(LATENCY_BOUNDS) for r in RTYPES}
+        self.admission_wait_hist = StreamingHistogram(JCT_BOUNDS)
+        self.jct_hist = StreamingHistogram(JCT_BOUNDS)
+        #: (job, mt) -> queue-push time, popped at grant for alloc latency
+        self.pending_alloc: dict[tuple[int, int], float] = {}
+        #: worker -> went-down time (blackouts record a repair on rejoin)
+        self.down_since: dict[int, float] = {}
+        self.repair_times: list[float] = []
+        self.recovery_times: list[float] = []
+        self.engine = None  # the unit's Simulation, registered at construction
+        self.engine_events = 0
+        self.sim_end = 0.0
+
+    def is_empty(self) -> bool:
+        """True for units that never saw a simulation or a hook — e.g. the
+        initial ``"run"`` placeholder when every unit was relabelled.
+        Empty units are dropped from summaries and exports."""
+        return (self.engine is None and not self.log
+                and not any(self.counters.values()))
+
+    def fold(self) -> None:
+        """Replay the deferred op log into the aggregate structures.
+
+        Runs once per unit (at seal/summary time); the log is replayed in
+        append order, which is event order, so the result is exactly what
+        inline aggregation would have produced.
+        """
+        log = self.log
+        if not log:
+            return
+        self.log = []
+        interval = self.interval
+        c = self.counters
+        busy = self.busy
+        queue = self.queue
+        pending = self.pending_alloc
+        alloc_hist = self.alloc_hist
+        grants = bypass = releases = aborts = 0
+        pushes = pops = evicted = ticks = assigned = 0
+        for op in log:
+            kind = op[0]
+            if kind == _OP_GRANT:
+                _, t, worker, rtype, job, mt, byp = op
+                grants += 1
+                if byp:
+                    bypass += 1
+                    lat = 0.0
+                else:
+                    lat = t - pending.pop((job, mt), t)
+                alloc_hist[rtype].observe(lat)
+                acc = busy.get((worker, rtype))
+                if acc is None:
+                    acc = busy[(worker, rtype)] = StepAccumulator(interval)
+                acc.delta(t, 1.0)
+            elif kind == _OP_RELEASE:
+                _, t, worker, rtype = op
+                releases += 1
+                acc = busy.get((worker, rtype))
+                if acc is None:
+                    acc = busy[(worker, rtype)] = StepAccumulator(interval)
+                acc.delta(t, -1.0)
+            elif kind == _OP_QPUSH:
+                _, t, worker, rtype, job, mt, qlen, work_mb = op
+                pushes += 1
+                pending[(job, mt)] = t
+                q = queue.get((worker, rtype))
+                if q is None:
+                    q = queue[(worker, rtype)] = _DualStep(interval)
+                q.set2(t, qlen, work_mb)
+            elif kind == _OP_QPOP:
+                _, t, worker, rtype, qlen, work_mb = op
+                pops += 1
+                q = queue.get((worker, rtype))
+                if q is None:
+                    q = queue[(worker, rtype)] = _DualStep(interval)
+                q.set2(t, qlen, work_mb)
+            elif kind == _OP_TICK:
+                ticks += 1
+                assigned += op[1]
+            elif kind == _OP_ABORT:
+                _, t, worker, rtype = op
+                aborts += 1
+                acc = busy.get((worker, rtype))
+                if acc is None:
+                    acc = busy[(worker, rtype)] = StepAccumulator(interval)
+                acc.delta(t, -1.0)
+            else:  # _OP_QEVICT
+                _, t, worker, rtype, qlen, work_mb, keys = op
+                evicted += len(keys)
+                for key in keys:
+                    pending.pop(key, None)
+                q = queue.get((worker, rtype))
+                if q is None:
+                    q = queue[(worker, rtype)] = _DualStep(interval)
+                q.set2(t, qlen, work_mb)
+        c["grants"] += grants
+        c["bypass_grants"] += bypass
+        c["releases"] += releases
+        c["aborts"] += aborts
+        c["queue_pushes"] += pushes
+        c["queue_pops"] += pops
+        c["queue_evicted"] += evicted
+        c["sched_ticks"] += ticks
+        c["tasks_assigned"] += assigned
+
+    # -- lazy accumulator accessors (capacity registration usually seeds
+    # -- them eagerly; baselines that bypass Worker still get tracked)
+    def busy_acc(self, worker: int, rtype: str) -> StepAccumulator:
+        acc = self.busy.get((worker, rtype))
+        if acc is None:
+            acc = self.busy[(worker, rtype)] = StepAccumulator(self.interval)
+        return acc
+
+    def queue_acc(self, worker: int, rtype: str) -> _DualStep:
+        acc = self.queue.get((worker, rtype))
+        if acc is None:
+            acc = self.queue[(worker, rtype)] = _DualStep(self.interval)
+        return acc
+
+    def harvest_engine(self) -> None:
+        """Pull events-fired / final-time off the registered engine."""
+        sim = self.engine
+        if sim is not None:
+            self.engine_events = sim.events_fired
+            self.sim_end = sim.now
+
+    def end_time(self) -> float:
+        """The horizon all series are flushed to: the engine's final clock,
+        falling back to the latest hook edge when no engine registered."""
+        self.fold()
+        self.harvest_engine()
+        end = self.sim_end
+        for acc in self.busy.values():
+            if acc.last_t > end:
+                end = acc.last_t
+        for q in self.queue.values():
+            if q.last_t > end:
+                end = q.last_t
+        if self.admission_q.last_t > end:
+            end = self.admission_q.last_t
+        if self.running_jobs.last_t > end:
+            end = self.running_jobs.last_t
+        return end
+
+
+class TelemetryCollector:
+    """Aggregated cluster metrics across simulation units.
+
+    Hook methods are grouped by the seam that calls them.  The
+    high-frequency ones (grants, releases, queue edges, ticks) append one
+    tuple to the unit's op log and defer all aggregation to
+    :meth:`UnitTelemetry.fold`; the low-frequency ones (job lifecycle,
+    faults — tens per run) update their accumulators inline.  The split is
+    safe because the inline hooks touch no state the folded ops read.
+    """
+
+    def __init__(self, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive (got {interval!r})")
+        self.interval = interval
+        self.units: dict[str, UnitTelemetry] = {}
+        self._u = self._unit("run")
+        #: optional ``callback(unit: UnitTelemetry)`` fired when a unit is
+        #: sealed (next begin_unit / disable).  The live dashboard hangs off
+        #: this; it observes the collector and never touches the simulation,
+        #: so determinism guarantees are unaffected.
+        self.on_unit_end = None
+
+    def _unit(self, label: str) -> UnitTelemetry:
+        u = self.units.get(label)
+        if u is None:
+            u = self.units[label] = UnitTelemetry(label, self.interval)
+        return u
+
+    def _seal_unit(self) -> None:
+        u = self._u
+        u.harvest_engine()
+        if self.on_unit_end is not None and not u.is_empty():
+            self.on_unit_end(u)
+
+    def begin_unit(self, label: str) -> None:
+        """All subsequent hooks belong to simulation unit ``label``."""
+        self._seal_unit()
+        self._u = self._unit(str(label))
+
+    @property
+    def unit(self) -> str:
+        return self._u.label
+
+    # ------------------------------------------------------------------
+    # engine seam (Simulation.__init__)
+    # ------------------------------------------------------------------
+    def attach_engine(self, sim) -> None:
+        """Register the unit's engine for lazy stats harvesting.  NOT a
+        per-event observer: a Python call per engine event would cost more
+        than every other hook combined."""
+        self._u.engine = sim
+
+    # ------------------------------------------------------------------
+    # worker seams (Worker.__init__ / _grant / _account_completion, and
+    # the fault layer's abort paths)
+    # ------------------------------------------------------------------
+    def worker_capacity(self, worker: int, limits: dict) -> None:
+        u = self._u
+        for rtype, limit in limits.items():
+            u.capacity[(worker, rtype)] = limit
+            u.busy_acc(worker, rtype)
+            u.queue_acc(worker, rtype)
+
+    def grant(self, t: float, worker: int, rtype: str,
+              job: int, mt: int, bypass: bool) -> None:
+        self._u.log.append((_OP_GRANT, t, worker, rtype, job, mt, bypass))
+
+    def release(self, t: float, worker: int, rtype: str) -> None:
+        self._u.log.append((_OP_RELEASE, t, worker, rtype))
+
+    def abort(self, t: float, worker: int, rtype: str) -> None:
+        """A granted monotask was torn down by the fault layer before it
+        could complete — the release seam will never fire for it."""
+        self._u.log.append((_OP_ABORT, t, worker, rtype))
+
+    # ------------------------------------------------------------------
+    # queue seams (MonotaskQueue.push / pop / evict)
+    # ------------------------------------------------------------------
+    def queue_push(self, t: float, worker: int, rtype: str,
+                   job: int, mt: int, qlen: int, work_mb: float) -> None:
+        self._u.log.append((_OP_QPUSH, t, worker, rtype, job, mt, qlen, work_mb))
+
+    def queue_pop(self, t: float, worker: int, rtype: str,
+                  qlen: int, work_mb: float) -> None:
+        self._u.log.append((_OP_QPOP, t, worker, rtype, qlen, work_mb))
+
+    def queue_evict(self, t: float, worker: int, rtype: str,
+                    qlen: int, work_mb: float, keys: list) -> None:
+        self._u.log.append((_OP_QEVICT, t, worker, rtype, qlen, work_mb, list(keys)))
+
+    # ------------------------------------------------------------------
+    # admission / job lifecycle seams
+    # ------------------------------------------------------------------
+    def job_submitted(self, t: float, qlen: int) -> None:
+        u = self._u
+        u.counters["jobs_submitted"] += 1
+        u.admission_q.set(t, qlen)
+
+    def job_admitted(self, t: float, waited: float) -> None:
+        u = self._u
+        u.counters["jobs_admitted"] += 1
+        u.admission_wait_hist.observe(waited)
+
+    def admission_queue(self, t: float, qlen: int) -> None:
+        self._u.admission_q.set(t, qlen)
+
+    def job_started(self, t: float, n_active: int) -> None:
+        u = self._u
+        u.counters["jobs_started"] += 1
+        u.running_jobs.set(t, n_active)
+
+    def job_completed(self, t: float, jct: float, n_active: int) -> None:
+        u = self._u
+        u.counters["jobs_completed"] += 1
+        u.jct_hist.observe(jct)
+        u.running_jobs.set(t, n_active)
+
+    def job_failed(self, t: float, n_active: int) -> None:
+        u = self._u
+        u.counters["jobs_failed"] += 1
+        u.running_jobs.set(t, n_active)
+
+    def job_failed_unadmitted(self, t: float) -> None:
+        """A waiting job doomed by a permanent capacity loss — it never
+        held a reservation, so the running-jobs gauge is untouched."""
+        u = self._u
+        u.counters["jobs_failed"] += 1
+        u.counters["jobs_failed_unadmitted"] += 1
+
+    # ------------------------------------------------------------------
+    # scheduler seam (UrsaSystem._tick)
+    # ------------------------------------------------------------------
+    def sched_tick(self, t: float, assigned: int) -> None:
+        self._u.log.append((_OP_TICK, assigned))
+
+    # ------------------------------------------------------------------
+    # fault-layer seams (FaultController)
+    # ------------------------------------------------------------------
+    def worker_down(self, t: float, worker: int, cause: str) -> None:
+        u = self._u
+        u.counters["worker_down"] += 1
+        u.down_since[worker] = t
+
+    def worker_up(self, t: float, worker: int) -> None:
+        u = self._u
+        u.counters["worker_up"] += 1
+        down = u.down_since.pop(worker, None)
+        if down is not None:
+            u.repair_times.append(t - down)
+
+    def retry(self, n: int = 1) -> None:
+        self._u.counters["retries"] += n
+
+    def mt_lost(self, n: int = 1) -> None:
+        self._u.counters["monotasks_lost"] += n
+
+    def fault_recovery(self, duration: float) -> None:
+        """Seconds from a fault until its last restarted task re-completed
+        (the MTTR sample the faults experiments aggregate)."""
+        self._u.recovery_times.append(duration)
+
+    def wasted_work(self, mb: float) -> None:
+        self._u.counters["wasted_work_mb"] += mb
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def live_units(self) -> dict[str, UnitTelemetry]:
+        """Units that actually recorded something (empty ones dropped)."""
+        return {label: u for label, u in self.units.items() if not u.is_empty()}
+
+    def summary(self) -> dict:
+        """JSON-ready snapshot of every non-empty unit plus totals."""
+        live = self.live_units()
+        units = {label: unit_summary(u) for label, u in live.items()}
+        totals: dict[str, float] = {k: 0 for k in _COUNTER_KEYS}
+        totals["wasted_work_mb"] = 0.0
+        for u in live.values():
+            for k, v in u.counters.items():
+                totals[k] += v
+        return {"interval": self.interval, "units": units, "totals": totals}
+
+
+def unit_summary(u: UnitTelemetry) -> dict:
+    """JSON-ready snapshot of one unit (shared by summary() and the
+    dashboard's per-unit panels)."""
+    end = u.end_time()
+    rt_util = {}
+    for rtype in RTYPES:
+        workers = sorted(w for (w, r) in u.busy if r == rtype)
+        cap = sum(u.capacity.get((w, rtype), 0) for w in workers)
+        integral = 0.0
+        busy_s = 0.0
+        peak = 0.0
+        per_series = []
+        for w in workers:
+            acc = u.busy[(w, rtype)]
+            per_series.append(acc.series(end))
+            integral += acc.integral
+            busy_s += acc.busy_seconds
+            if acc.peak > peak:
+                peak = acc.peak
+        summed = _sum_series(per_series)
+        rt_util[rtype] = {
+            "capacity": cap,
+            "busy_seconds": busy_s,
+            "active_mean": integral / end if end > 0 else 0.0,
+            "mean": integral / (cap * end) if cap and end > 0 else 0.0,
+            "worker_peak_active": peak,
+            "series": [x / cap for x in summed] if cap else summed,
+        }
+
+    workers_out: dict[str, dict] = {}
+    for (w, rtype) in sorted(u.busy):
+        acc = u.busy[(w, rtype)]
+        workers_out.setdefault(str(w), {})[rtype] = {
+            "capacity": u.capacity.get((w, rtype), 0),
+            "busy_seconds": acc.busy_seconds,
+            "mean_active": acc.integral / end if end > 0 else 0.0,
+            "peak_active": acc.peak,
+        }
+
+    queues = {}
+    for rtype in RTYPES:
+        workers = sorted(w for (w, r) in u.queue if r == rtype)
+        accs = [u.queue[(w, rtype)] for w in workers]
+        for acc in accs:
+            acc.advance(end)
+        queues[rtype] = {
+            "depth_mean": sum(a.int_a for a in accs) / end if end > 0 else 0.0,
+            "depth_worker_peak": max((a.peak_a for a in accs), default=0.0),
+            "depth_series": _sum_series([a.bins_a.series(end) for a in accs]),
+            "mb_mean": sum(a.int_b for a in accs) / end if end > 0 else 0.0,
+            "mb_worker_peak": max((a.peak_b for a in accs), default=0.0),
+            "mb_series": _sum_series([a.bins_b.series(end) for a in accs]),
+        }
+
+    rep, rec_ = u.repair_times, u.recovery_times
+    return {
+        "sim_end": end,
+        "engine_events": u.engine_events,
+        "counters": dict(u.counters),
+        "utilization": rt_util,
+        "workers": workers_out,
+        "queues": queues,
+        "admission_queue": _gauge_summary(u.admission_q, end),
+        "running_jobs": _gauge_summary(u.running_jobs, end),
+        "alloc_latency": {r: u.alloc_hist[r].as_dict() for r in RTYPES},
+        "admission_wait": u.admission_wait_hist.as_dict(),
+        "jct": u.jct_hist.as_dict(),
+        "faults": {
+            "repair_count": len(rep),
+            "repair_mean_s": sum(rep) / len(rep) if rep else 0.0,
+            "repair_max_s": max(rep) if rep else 0.0,
+            "recovery_count": len(rec_),
+            "recovery_mean_s": sum(rec_) / len(rec_) if rec_ else 0.0,
+            "recovery_max_s": max(rec_) if rec_ else 0.0,
+            "wasted_work_mb": u.counters["wasted_work_mb"],
+        },
+    }
+
+
+def _gauge_summary(acc: StepAccumulator, end: float) -> dict:
+    series = acc.series(end)
+    return {
+        "mean": acc.integral / end if end > 0 else 0.0,
+        "peak": acc.peak,
+        "series": series,
+    }
+
+
+def _sum_series(series_list: list[list[float]]) -> list[float]:
+    """Elementwise sum of variable-length series (short ones pad with 0)."""
+    if not series_list:
+        return []
+    n = max(len(s) for s in series_list)
+    out = [0.0] * n
+    for s in series_list:
+        for i, v in enumerate(s):
+            out[i] += v
+    return out
+
+
+#: The active collector, or ``None`` when telemetry is off.  Hook sites
+#: read this exactly once per call and branch away while it is ``None``.
+TELEMETRY: Optional[TelemetryCollector] = None
+
+
+def enable(interval: float = 1.0) -> TelemetryCollector:
+    """Install (and return) a fresh global collector."""
+    global TELEMETRY
+    TELEMETRY = TelemetryCollector(interval)
+    return TELEMETRY
+
+
+def disable() -> Optional[TelemetryCollector]:
+    """Uninstall the global collector and return it (None if not enabled).
+    The final unit's engine stats are harvested on the way out."""
+    global TELEMETRY
+    tel, TELEMETRY = TELEMETRY, None
+    if tel is not None:
+        tel._seal_unit()
+    return tel

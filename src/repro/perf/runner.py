@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Optional, Sequence
 
 from ..obs import recorder as _obs
+from ..obs import telemetry as _tel
 from .cache import ResultCache
 
 __all__ = ["ParallelRunner", "default_workers"]
@@ -203,6 +204,9 @@ class ParallelRunner:
             # label the unit's events so multi-unit traces stay separable
             # (each unit restarts its sim clock at t=0)
             rec.begin_unit(f"{spec.experiment}:{spec.key}")
+        tel = _tel.TELEMETRY
+        if tel is not None:
+            tel.begin_unit(f"{spec.experiment}:{spec.key}")
         payload = _execute_unit(spec.experiment, sc, spec.key, spec.seed, spec.kwargs)
         # Round-trip through pickle so the in-process path yields the same
         # object graph a pool worker would: without this, payloads from

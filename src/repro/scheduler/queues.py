@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Optional
 from ..dataflow.graph import ResourceType
 from ..dataflow.monotask import Monotask
 from ..obs import recorder as _obs
+from ..obs import telemetry as _tel
 from .ordering import SchedulingPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -85,6 +86,12 @@ class MonotaskQueue:
                 now, self._owner, self.rtype.value, jm.job.job_id, mt.mt_id,
                 len(self._heap),
             )
+        tel = _tel.TELEMETRY
+        if tel is not None and self._owner is not None:
+            tel.queue_push(
+                now, self._owner, self.rtype.value, jm.job.job_id, mt.mt_id,
+                len(self._heap), self._work_mb,
+            )
 
     def pop(self) -> Optional[QueueEntry]:
         if not self._heap:
@@ -102,6 +109,12 @@ class MonotaskQueue:
             rec.queue_pop(
                 self._clock.now, self._owner, self.rtype.value,
                 entry.jm.job.job_id, entry.mt.mt_id, len(self._heap),
+            )
+        tel = _tel.TELEMETRY
+        if tel is not None and self._owner is not None and self._clock is not None:
+            tel.queue_pop(
+                self._clock.now, self._owner, self.rtype.value,
+                len(self._heap), self._work_mb,
             )
         return entry
 
@@ -134,6 +147,13 @@ class MonotaskQueue:
             # same drain-to-zero pinning as pop()
             self._work_mb = 0.0
         evicted.sort()
+        tel = _tel.TELEMETRY
+        if tel is not None and self._owner is not None and self._clock is not None:
+            tel.queue_evict(
+                self._clock.now, self._owner, self.rtype.value,
+                len(self._heap), self._work_mb,
+                [(e.jm.job.job_id, e.mt.mt_id) for e in evicted],
+            )
         return evicted
 
     def queued_work_mb(self) -> float:

@@ -22,6 +22,7 @@ import math
 from typing import Any, Callable, Optional
 
 from ..obs import recorder as _obs
+from ..obs import telemetry as _tel
 
 __all__ = ["EventHandle", "Simulation", "SimulationError"]
 
@@ -129,6 +130,11 @@ class Simulation:
         # before building the Simulation)
         rec = _obs.RECORDER
         self._observer = rec.engine_observer if rec is not None else None
+        # telemetry registers the engine for lazy end-of-unit harvesting
+        # (events fired, final clock) — deliberately not a per-event hook
+        tel = _tel.TELEMETRY
+        if tel is not None:
+            tel.attach_engine(self)
 
     # ------------------------------------------------------------------
     # clock

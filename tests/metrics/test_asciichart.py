@@ -1,0 +1,69 @@
+"""Non-finite-sample hardening of the ASCII chart renderers."""
+
+import math
+
+from repro.metrics.asciichart import _finite_max, ascii_chart, sparkline
+
+NAN = float("nan")
+INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# sparkline
+# ----------------------------------------------------------------------
+def test_sparkline_nan_renders_midline_dot():
+    line = sparkline([0.0, NAN, 1.0], 0.0, 1.0)
+    assert line[1] == "·"
+    assert len(line) == 3
+
+
+def test_sparkline_infinities_clamp_to_band_edges():
+    line = sparkline([-INF, INF], 0.0, 1.0)
+    assert line == " █"
+
+
+def test_sparkline_all_nan_does_not_crash():
+    assert sparkline([NAN, NAN]) == "··"
+
+
+def test_sparkline_autoscale_ignores_nonfinite_samples():
+    # without the finite-max guard, the inf sample would flatten the scale
+    line = sparkline([0.0, 2.0, INF, NAN])
+    assert line[1] != line[0]  # 2.0 still resolves above 0.0
+    assert line[2] == "█" and line[3] == "·"
+
+
+def test_sparkline_finite_series_unchanged():
+    assert sparkline([0, 50, 100], 0, 100) == " ▄█"
+
+
+# ----------------------------------------------------------------------
+# ascii_chart
+# ----------------------------------------------------------------------
+def test_ascii_chart_nan_leaves_blank_column():
+    chart = ascii_chart([1.0, NAN, 1.0], height=3, hi=1.0)
+    for line in chart.splitlines():
+        if "█" in line:
+            body = line.split("|", 1)[1]
+            assert body == "█ █"
+
+
+def test_ascii_chart_inf_clamps_to_top_band():
+    chart = ascii_chart([0.0, INF], height=4, hi=1.0)
+    top_row = chart.splitlines()[0]
+    assert top_row.split("|", 1)[1] == " █"
+
+
+def test_ascii_chart_all_nonfinite_does_not_crash():
+    chart = ascii_chart([NAN, INF, -INF], height=2, label="x")
+    assert "x" in chart
+
+
+# ----------------------------------------------------------------------
+# _finite_max
+# ----------------------------------------------------------------------
+def test_finite_max_filters_and_floors():
+    assert _finite_max([1.0, NAN, INF, 3.0], 0.0) == 3.0
+    assert _finite_max([NAN, INF], 5.0) == 5.0
+    assert _finite_max([], 2.0) == 2.0
+    assert math.isfinite(_finite_max([INF], 0.0))

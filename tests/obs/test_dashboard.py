@@ -1,0 +1,107 @@
+"""Dashboard rendering: panel structure, resampling, live attachment."""
+
+import io
+import math
+import pickle
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.metrics import compute_metrics
+from repro.obs import telemetry
+from repro.obs.dashboard import (
+    PANEL_WIDTH,
+    _resample,
+    attach_live,
+    render_dashboard,
+    render_unit,
+)
+from repro.scheduler import UrsaConfig, UrsaSystem
+from repro.workloads import submit_workload, tpch_workload
+
+
+def _run_with_telemetry(unit="dash", live_stream=None):
+    telemetry.disable()
+    tel = telemetry.enable()
+    if live_stream is not None:
+        attach_live(tel, stream=live_stream)
+    tel.begin_unit(unit)
+    cluster = Cluster(
+        ClusterSpec(num_machines=3, machine=ClusterSpec.paper_cluster().machine)
+    )
+    system = UrsaSystem(cluster, UrsaConfig(policy="srjf"))
+    submit_workload(
+        system,
+        tpch_workload(n_jobs=4, scale=0.02, arrival_interval=0.5,
+                      max_parallelism=64, partition_mb=12.0, seed=3),
+    )
+    system.run(max_events=50_000_000)
+    pickle.dumps(compute_metrics(system))
+    telemetry.disable()
+    return tel
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return _run_with_telemetry()
+
+
+def test_render_unit_panel_structure(collector):
+    panel = render_unit(collector.units["dash"])
+    assert "unit dash" in panel
+    assert "utilization (fraction of concurrency limit)" in panel
+    assert "queue depth" in panel
+    assert "alloc[cpu]" in panel  # the latency table rendered
+    assert "jobs: 4/4 done (0 failed)" in panel
+    # box borders present and the panel never exceeds its drawn width
+    lines = panel.splitlines()
+    assert lines[0].startswith("┌") and lines[-1].startswith("└")
+
+
+def test_render_unit_sparklines_fit_panel_width(collector):
+    panel = render_unit(collector.units["dash"])
+    for line in panel.splitlines():
+        if "|" in line and line.strip().startswith(("cpu", "network", "disk")):
+            strip = line.split("|")[1]
+            assert len(strip) <= PANEL_WIDTH
+
+
+def test_render_dashboard_covers_live_units_only(collector):
+    out = render_dashboard(collector)
+    assert "unit dash" in out
+    assert "unit run" not in out  # the empty placeholder stays hidden
+
+
+def test_render_dashboard_empty_collector():
+    telemetry.disable()
+    tel = telemetry.enable()
+    telemetry.disable()
+    assert render_dashboard(tel) == "(no telemetry units recorded)"
+
+
+def test_attach_live_prints_panel_when_unit_seals():
+    buf = io.StringIO()
+    _run_with_telemetry(unit="live", live_stream=buf)
+    out = buf.getvalue()
+    assert "unit live" in out
+    assert out.count("┌") == 1  # exactly one panel: the one sealed unit
+
+
+def test_resample_averages_down_to_width():
+    series = list(range(1000))
+    out = _resample(series, 10)
+    assert len(out) == 10
+    assert out == sorted(out)  # monotone input stays monotone
+    assert out[0] == pytest.approx(sum(range(100)) / 100)
+
+
+def test_resample_short_series_passes_through():
+    assert _resample([1, 2, 3], 10) == [1.0, 2.0, 3.0]
+    assert _resample([], 10) == []
+
+
+def test_resample_never_drops_mass():
+    series = [float(i % 7) for i in range(333)]
+    out = _resample(series, 64)
+    assert len(out) == 64
+    assert all(math.isfinite(v) for v in out)

@@ -117,3 +117,35 @@ def test_empty_stream():
     assert stats["admission_wait"] is None
     assert stats["n_events"] == 0
     assert stats["units"] == []
+
+
+# ----------------------------------------------------------------------
+# Dist zero-value contract / quartiles
+# ----------------------------------------------------------------------
+def test_dist_zero_contract():
+    z = Dist.zero()
+    assert z.count == 0
+    assert all(
+        getattr(z, f) == 0.0
+        for f in ("mean", "p25", "p50", "p75", "p95", "p99", "max")
+    )
+    row = z.row()
+    assert row["count"] == 0 and row["p75"] == 0.0
+
+
+def test_dist_empty_zero_flag():
+    assert dist([], empty_zero=True) == Dist.zero()
+    assert dist([]) is None  # default stays "absent metric"
+
+
+def test_dist_single_sample_percentiles_collapse():
+    d = dist([3.5])
+    assert d.count == 1
+    assert d.p25 == d.p50 == d.p75 == d.p95 == d.p99 == d.max == 3.5
+
+
+def test_dist_quartiles():
+    d = dist([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert d.p25 == pytest.approx(2.0)
+    assert d.p75 == pytest.approx(4.0)
+    assert d.row()["p25"] == d.p25

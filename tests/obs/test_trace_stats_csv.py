@@ -1,0 +1,84 @@
+"""CSV output mode of scripts/trace_stats.py."""
+
+import csv
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import events as ev
+from repro.obs import write_jsonl
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+import trace_stats  # noqa: E402
+
+
+def _e(kind, t, **fields):
+    fields.update(t=t, kind=kind, unit=fields.pop("unit", "run"))
+    return fields
+
+
+def _trace(tmp_path, unit="run"):
+    events = [
+        _e(ev.JOB_ADMIT, 0.5, job=0, waited=0.5, reserved_mb=64.0, unit=unit),
+        _e(ev.QUEUE_PUSH, 1.0, worker=0, rtype="cpu", job=0, mt=1, qlen=1,
+           unit=unit),
+        _e(ev.MT_START, 1.75, worker=0, rtype="cpu", job=0, mt=1, running=1,
+           bypass=False, unit=unit),
+    ]
+    path = tmp_path / f"{unit}.jsonl"
+    write_jsonl(events, path)
+    return path, events
+
+
+def _rows(out: str) -> list[list[str]]:
+    return list(csv.reader(io.StringIO(out)))
+
+
+def test_csv_header_and_unit_column(tmp_path, capsys):
+    path, _ = _trace(tmp_path)
+    assert trace_stats.main([str(path), "--format", "csv"]) == 0
+    rows = _rows(capsys.readouterr().out)
+    assert rows[0] == ["unit", "metric", "count", "mean_ms", "p25_ms",
+                       "p50_ms", "p75_ms", "p95_ms", "p99_ms", "max_ms"]
+    body = rows[1:]
+    assert all(r[0] == "all" for r in body)
+    alloc = next(r for r in body if r[1] == "alloc[cpu]")
+    assert alloc[2] == "1"
+    assert float(alloc[9]) == pytest.approx(750.0)  # 0.75 s in ms
+
+
+def test_csv_emits_no_table_preamble(tmp_path, capsys):
+    path, _ = _trace(tmp_path)
+    trace_stats.main([str(path), "--format", "csv"])
+    out = capsys.readouterr().out
+    assert "events" not in out.splitlines()[0]  # no "N events" preamble
+    assert "latency distributions" not in out
+
+
+def test_csv_per_unit_rows(tmp_path, capsys):
+    p1, e1 = _trace(tmp_path, unit="u1")
+    _, e2 = _trace(tmp_path, unit="u2")
+    merged = tmp_path / "merged.jsonl"
+    write_jsonl(e1 + e2, merged)
+    assert trace_stats.main([str(merged), "--per-unit", "--format", "csv"]) == 0
+    rows = _rows(capsys.readouterr().out)
+    units = {r[0] for r in rows[1:]}
+    assert units == {"u1", "u2"}
+    # header appears exactly once even across units
+    assert sum(1 for r in rows if r[:2] == ["unit", "metric"]) == 1
+
+
+def test_table_format_unchanged(tmp_path, capsys):
+    path, _ = _trace(tmp_path)
+    assert trace_stats.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 events" in out
+    assert "latency distributions" in out
+
+
+def test_empty_trace_errors(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert trace_stats.main([str(path), "--format", "csv"]) == 1
