@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Placement-engine microbenchmark: scalar vs vector F(t, w) across widths.
+
+Algorithm 1's inner product is ``tasks × workers`` F(t, w) evaluations per
+round.  This script isolates *just* the placement call — fixed worker
+state, fixed ready set, no simulation around it — and times the scalar
+engine against the vectorized one across cluster widths.  Narrow clusters
+exercise the vector engine's profile-dedup python path; wide clusters
+(>= ``broadcast_min_workers``, default 32) flip it onto the numpy
+broadcast path, which is where the paper-scale 100–1000-worker clusters
+live.  Every timed pair is also checked for decision-identical assignment
+sequences (worker, score included), so a speedup can never hide a
+behavior change.
+
+Writes a JSON baseline (default ``BENCH_place.json``)::
+
+    PYTHONPATH=src python scripts/bench_place.py
+    PYTHONPATH=src python scripts/bench_place.py --widths 8,64 --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+
+def _build_setup(n_workers: int, n_tasks: int, seed: int = 7):
+    """A pre-loaded cluster plus a ready set sized to the width.
+
+    Workers carry randomized APT / rate / memory state; jobs contribute a
+    handful of stages whose tasks share per-stage profiles (the shape the
+    profile-dedup path is built for) with a sprinkle of odd-sized tasks.
+    """
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.dataflow import DepType, OpGraph, ResourceType
+    from repro.execution import Job, JobManager
+    from repro.scheduler import EarliestJobFirst, Worker
+    from repro.scheduler.placement import ReadyStage
+
+    class _NullBackend:
+        def on_tasks_ready(self, jm, tasks):
+            pass
+
+        def enqueue_monotask(self, jm, mt):
+            pass
+
+        def on_job_complete(self, jm):
+            pass
+
+    rng = random.Random(seed)
+    cluster = Cluster(ClusterSpec.small(
+        num_machines=n_workers, cores=4, core_rate_mbps=10.0))
+    workers = [Worker(cluster, i, EarliestJobFirst()) for i in range(n_workers)]
+    for w in workers:
+        for r in (ResourceType.CPU, ResourceType.NETWORK, ResourceType.DISK):
+            w.assigned_work[r] = rng.uniform(0.0, 8.0)
+            w.rates[r].record(rng.uniform(5.0, 40.0), rng.uniform(0.5, 3.0))
+        w.running[ResourceType.CPU] = rng.randrange(0, w.machine.spec.cores + 1)
+        w.machine.reserve_memory(rng.uniform(0.0, 0.5) * w.machine.memory.capacity)
+
+    stages = []
+    n_jobs = 6
+    per_job = max(2, n_tasks // n_jobs)
+    for j in range(n_jobs):
+        base = rng.uniform(4.0, 60.0)
+        # mostly-uniform stage profiles with a few odd partitions
+        sizes = [
+            base if rng.random() < 0.9 else rng.uniform(1.0, 120.0)
+            for _ in range(per_job)
+        ]
+        g = OpGraph(f"p{j}")
+        src = g.create_data(per_job)
+        g.set_input(src, sizes)
+        msg = g.create_data(per_job)
+        ser = g.create_op(ResourceType.CPU, "ser").read(src).create(msg)
+        sh = g.create_op(ResourceType.NETWORK, "sh").read(msg).create(
+            g.create_data(per_job))
+        ser.to(sh, DepType.SYNC)
+        job = Job(j, g, rng.uniform(0.0, 20.0), requested_memory_mb=1024.0)
+        jm = JobManager(cluster.sim, cluster, job, _NullBackend())
+        jm.start()
+        by_stage = {}
+        for t in jm.ready_tasks:
+            by_stage.setdefault(t.stage.stage_id, []).append(t)
+        stages.extend(ReadyStage(jm, ts[0].stage, ts) for ts in by_stage.values())
+    return workers, stages
+
+
+def _time_engine(placement, build, repeats: int):
+    """Best-of-N timing of the bare ``place`` call.
+
+    ``place`` consumes the ready set (the simulator rebuilds it every
+    tick), so each repeat gets a freshly built — bit-identical, same-seed —
+    setup outside the timed region.
+    """
+    from repro.scheduler import EarliestJobFirst
+
+    policy = EarliestJobFirst(weight=0.1)
+    best = float("inf")
+    decisions = None
+    n_tasks = 0
+    for _ in range(repeats):
+        workers, stages = build()
+        n_tasks = sum(len(s.tasks) for s in stages)
+        start = time.perf_counter()
+        out = placement.place(stages, workers, 25.0, policy)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        got = [(a.jm.job.job_id, a.task.task_id, a.worker, a.score) for a in out]
+        if decisions is None:
+            decisions = got
+        elif decisions != got:
+            raise RuntimeError("same-seed repeats diverged")
+    return best, decisions, n_tasks
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--widths", default="8,32,128,512",
+                        help="comma-separated worker counts")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N per engine")
+    parser.add_argument("--tasks-per-worker", type=float, default=4.0,
+                        help="ready tasks per worker (default 4)")
+    parser.add_argument("--out", default="BENCH_place.json")
+    args = parser.parse_args(argv)
+
+    from repro.scheduler import UrsaPlacement, VectorUrsaPlacement
+
+    widths = [int(w) for w in args.widths.split(",") if w]
+    rows = []
+    identical = True
+    print(f"  {'workers':>8} {'tasks':>7} {'scalar ms':>10} {'vector ms':>10} "
+          f"{'speedup':>8}  path", file=sys.stderr)
+    for n_workers in widths:
+        n_tasks = int(n_workers * args.tasks_per_worker)
+
+        def build():
+            return _build_setup(n_workers, n_tasks)
+
+        scalar_s, scalar_out, ready_tasks = _time_engine(
+            UrsaPlacement(ept=0.3), build, args.repeats)
+        vec = VectorUrsaPlacement(ept=0.3)
+        vector_s, vector_out, _ = _time_engine(vec, build, args.repeats)
+        same = scalar_out == vector_out
+        identical = identical and same
+        path = "broadcast" if n_workers >= vec.broadcast_min_workers else "python-loop"
+        speedup = scalar_s / vector_s if vector_s else None
+        rows.append({
+            "workers": n_workers,
+            "ready_tasks": ready_tasks,
+            "scalar_ms": round(scalar_s * 1e3, 2),
+            "vector_ms": round(vector_s * 1e3, 2),
+            "speedup": round(speedup, 2) if speedup else None,
+            "vector_path": path,
+            "decisions_identical": same,
+        })
+        print(f"  {n_workers:>8} {rows[-1]['ready_tasks']:>7} "
+              f"{rows[-1]['scalar_ms']:>10.2f} {rows[-1]['vector_ms']:>10.2f} "
+              f"{rows[-1]['speedup']:>7.2f}x  {path}"
+              + ("" if same else "  DECISIONS DIFFER"), file=sys.stderr)
+
+    baseline = {
+        "benchmark": "placement-only F(t,w) scoring, scalar vs vector engine",
+        "repeats": args.repeats,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "widths": rows,
+        "decisions_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,12 +22,27 @@ reference serial path, and what the determinism tests compare against.
 ``workers=1`` routes through the same in-process path — a single-worker
 pool is strictly slower (spawn + pickling, no overlap) and produces the
 same bytes.
+
+Per-unit overhead is kept off the hot path two ways:
+
+* **Warm pool reuse.**  The pool persists across ``run`` / ``run_many``
+  calls (interpreters spawn once, not once per pass); it is torn down by
+  :meth:`ParallelRunner.close` (or the context manager), or transparently
+  rebuilt when the scale / placement mode changes.
+* **Initializer-shared spec.**  The resolved scale (cluster spec included)
+  and the effective placement mode ship to each worker *once*, through the
+  pool initializer, instead of being pickled into every submitted unit.
+
+Each executed unit also reports its pure simulation time
+(``compute_s``), so harness overhead — spawn, pickling, cache stores —
+is measurable as ``wall − compute`` (see ``scripts/bench_harness.py``).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Optional, Sequence
 
@@ -69,6 +84,32 @@ def _execute_unit(experiment: str, scale, key, seed: int, kwargs: dict) -> Any:
     return split.run_unit(scale, key, seed=seed, **kwargs)
 
 
+#: worker-side scale installed once by :func:`_pool_init` — submitted units
+#: reference it instead of shipping the cluster spec with every task
+_POOL_SCALE = None
+
+
+def _pool_init(scale, placement_mode: str) -> None:
+    """Pool-worker initializer: install shared read-only state.
+
+    Runs once per worker process.  The resolved scale (with its cluster
+    spec) and the parent's effective placement engine are installed here so
+    each submitted unit carries only ``(experiment, key, seed, kwargs)``.
+    """
+    global _POOL_SCALE
+    _POOL_SCALE = scale
+    from ..scheduler import vector
+
+    vector.set_default_mode(placement_mode)
+
+
+def _execute_unit_pooled(experiment: str, key, seed: int, kwargs: dict):
+    """Worker-side unit entry: initializer-shared scale + compute timing."""
+    t0 = time.perf_counter()
+    payload = _execute_unit(experiment, _POOL_SCALE, key, seed, kwargs)
+    return payload, time.perf_counter() - t0
+
+
 class _UnitSpec:
     """One schedulable simulation unit plus its cache addressing."""
 
@@ -85,23 +126,83 @@ class _UnitSpec:
 class ParallelRunner:
     """Fan independent simulation units across processes, with caching.
 
+    The pool is **persistent**: it spawns on first use and is reused by
+    every subsequent ``run`` / ``run_many`` call (warm interpreters, warm
+    imports), then torn down by :meth:`close` / the context manager.  A
+    call with a different scale or placement mode rebuilds it, since both
+    are installed worker-side through the pool initializer.
+
     Args:
         workers: process count.  ``0`` → run in-process (serial reference
             path); ``1`` also runs in-process — a one-worker pool pays
             process spawn plus pickling for zero concurrency and is
             strictly slower than serial; ``N ≥ 2`` fans out.
         cache: optional :class:`ResultCache`; hits skip execution entirely.
+        placement_mode: placement engine for the simulations ("scalar" /
+            "vector"); ``None`` inherits the process-wide default (which
+            the pool initializer mirrors into every worker either way).
     """
 
-    def __init__(self, workers: int = 0, cache: Optional[ResultCache] = None):
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        placement_mode: Optional[str] = None,
+    ):
         if workers < 0:
             raise ValueError(f"workers must be >= 0 (got {workers})")
+        from ..scheduler import vector
+
         self.workers = workers
         self.cache = cache
+        self.placement_mode = vector.resolve_mode(placement_mode) if placement_mode else None
         #: units actually executed (cache misses) during the last run
         self.executed_units = 0
         #: units served from the cache during the last run
         self.cached_units = 0
+        #: pure simulation seconds summed over last run's executed units
+        #: (measured where the unit ran); harness overhead = wall − this
+        self.compute_s = 0.0
+        #: wall seconds spent inside the last run's execute phase
+        self.exec_wall_s = 0.0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_key = None  # (scale, placement_mode) the pool was built for
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _effective_mode(self) -> str:
+        from ..scheduler import vector
+
+        return self.placement_mode or vector.get_default_mode()
+
+    def _get_pool(self, sc) -> ProcessPoolExecutor:
+        """Return the warm pool, (re)building it if scale/mode changed."""
+        key = (sc, self._effective_mode())
+        if self._pool is not None and key != self._pool_key:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=key,
+            )
+            self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # public API
@@ -156,6 +257,14 @@ class ParallelRunner:
         or in-process execution."""
         self.executed_units = 0
         self.cached_units = 0
+        self.compute_s = 0.0
+        exec_start = time.perf_counter()
+        try:
+            return self._execute_inner(sc, specs)
+        finally:
+            self.exec_wall_s = time.perf_counter() - exec_start
+
+    def _execute_inner(self, sc, specs: list[_UnitSpec]) -> dict[int, Any]:
         payloads: dict[int, Any] = {}
         to_run: list[_UnitSpec] = []
         for spec in specs:
@@ -176,26 +285,37 @@ class ParallelRunner:
             # the in-process pickle round-trip in _run_and_store keeps the
             # payloads byte-identical to what a pool worker would return,
             # without paying for a pool that cannot overlap anything.
-            for spec in to_run:
-                payloads[id(spec)] = self._run_and_store(sc, spec)
+            from ..scheduler import vector
+
+            prev_mode = vector.get_default_mode()
+            if self.placement_mode is not None:
+                vector.set_default_mode(self.placement_mode)
+            try:
+                for spec in to_run:
+                    payloads[id(spec)] = self._run_and_store(sc, spec)
+            finally:
+                vector.set_default_mode(prev_mode)
             return payloads
 
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {
-                pool.submit(
-                    _execute_unit, spec.experiment, sc, spec.key, spec.seed, spec.kwargs
-                ): spec
-                for spec in to_run
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec = futures[future]
-                    payload = future.result()  # re-raises worker exceptions
-                    payloads[id(spec)] = payload
-                    self._store(sc, spec, payload)
-                    self.executed_units += 1
+        pool = self._get_pool(sc)
+        # only (experiment, key, seed, kwargs) travels per unit — the scale
+        # (cluster spec) and placement mode shipped once via the initializer
+        futures = {
+            pool.submit(
+                _execute_unit_pooled, spec.experiment, spec.key, spec.seed, spec.kwargs
+            ): spec
+            for spec in to_run
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                spec = futures[future]
+                payload, compute_s = future.result()  # re-raises worker exceptions
+                payloads[id(spec)] = payload
+                self.compute_s += compute_s
+                self._store(sc, spec, payload)
+                self.executed_units += 1
         return payloads
 
     def _run_and_store(self, sc, spec: _UnitSpec) -> Any:
@@ -207,7 +327,9 @@ class ParallelRunner:
         tel = _tel.TELEMETRY
         if tel is not None:
             tel.begin_unit(f"{spec.experiment}:{spec.key}")
+        t0 = time.perf_counter()
         payload = _execute_unit(spec.experiment, sc, spec.key, spec.seed, spec.kwargs)
+        self.compute_s += time.perf_counter() - t0
         # Round-trip through pickle so the in-process path yields the same
         # object graph a pool worker would: without this, payloads from
         # different units share interned/constant objects (dict key strings

@@ -179,14 +179,25 @@ class UrsaPlacement(PlacementPolicy):
 
     # ------------------------------------------------------------------
     def place(self, ready, workers, now, job_policy) -> list[Assignment]:
-        views = [_WorkerView(w, i, self.ept) for i, w in enumerate(workers)]
         self._prof = _profile.PROFILER
+        views = self._build_state(workers)
         try:
             if self.stage_aware:
                 return self._place_by_stage(ready, views, now, job_policy)
             return self._place_by_task(ready, views, now, job_policy)
         finally:
             self._prof = None
+
+    def _build_state(self, workers):
+        """Per-round worker headroom state.  The scalar engine uses a list of
+        :class:`_WorkerView`; :class:`~repro.scheduler.vector.\
+        VectorUrsaPlacement` overrides this with a struct-of-arrays state."""
+        return [_WorkerView(w, i, self.ept) for i, w in enumerate(workers)]
+
+    def _commit_assign(self, state, widx: int, usage, mem: float) -> None:
+        """Permanently commit one plan entry against the round state (the
+        engine-specific twin of :meth:`_commit`)."""
+        self._commit(state[widx], usage, mem)
 
     def _usage(self, task: Task) -> tuple[float, float, float]:
         # est_* are frozen when the task becomes ready (before it is ever
@@ -244,7 +255,7 @@ class UrsaPlacement(PlacementPolicy):
             # stale score (an upper bound on its fresh score) is <= ours
             placed_ids = set()
             for task, usage, mem, widx, f in plan:
-                self._commit(views[widx], usage, mem)
+                self._commit_assign(views, widx, usage, mem)
                 assignments.append(Assignment(rs.jm, task, widx, f))
                 placed_ids.add(task.task_id)
             gen += 1
@@ -289,7 +300,7 @@ class UrsaPlacement(PlacementPolicy):
                 if prof is not None:
                     prof.heap_repushes += 1
                 continue
-            self._commit(views[widx], self._usage(task), task.est_mem_mb)
+            self._commit_assign(views, widx, self._usage(task), task.est_mem_mb)
             assignments.append(Assignment(jm, task, widx, f))
         return assignments
 

@@ -1,0 +1,519 @@
+"""Vectorized Algorithm-1 placement engine (the F(t, w) fast path).
+
+The scalar :class:`~repro.scheduler.placement.UrsaPlacement` scores every
+ready task against every candidate worker with an inlined python loop —
+``tasks_scored × workers`` full ``F(t, w)`` evaluations per scheduling
+round.  This module replaces that inner product with a struct-of-arrays
+engine built around two observations:
+
+1. **Stages are homogeneous.**  Tasks in one stage overwhelmingly share a
+   single ``(usage, est_mem)`` profile (equal-size partitions), and
+   ``F(t, w)`` depends on the task only through that profile.  Scoring once
+   per *profile* and reusing the row for every task in the group removes
+   the dominant ``×tasks`` factor; after a commit only the chosen worker's
+   entry can change (headroom shrinks nowhere else), so each placement
+   refreshes exactly one entry per cached row instead of rescoring the
+   stage.
+2. **Worker state is columnar.**  Per-worker headroom ``D_r(w)``, free
+   memory, ``1/(rate_r·EPT)`` and liveness live in parallel columns
+   (python lists mirrored by lazily-materialized numpy arrays).  A profile
+   row is then one broadcasted pass — feasibility mask → per-resource
+   ``D_r · min(Inc_r, D_r)`` terms → F vector — when the cluster is wide
+   enough for numpy to win (``broadcast_min_workers``), and a tight python
+   loop over the same columns below that.
+
+**Bit-identity.**  Every arithmetic step follows the scalar engine's
+operation order exactly — same term order (cpu, net, disk, mem), same
+``max(0, ·)`` clamps, same ``+ 1e-9`` memory-fit slack — and numpy's
+elementwise float64 ops are IEEE-754 identical to CPython's float ops, so
+the vector engine reproduces the scalar engine's scores *bitwise*, not
+just approximately.  Ties resolve through first-occurrence ``max`` /
+``.index`` scans, matching the scalar first-strict-maximum loop.  The
+``tests/scheduler`` randomized property suite pins scalar ≡ vector ≡
+brute-force-reference down to the float, across resource mixes, blocking,
+capping, dead workers and locality; ``tests/perf`` pins end-to-end metric
+digests.
+
+**Fallbacks.**  Locality-constrained tasks (a single candidate worker) are
+scored through the scalar single-pair path; the profiler counts them
+(``vector_fallbacks``) alongside vectorized stages, profile rows and array
+rebuilds so a workload that defeats the dedup shows up in ``--profile``
+output.
+
+Commits update the columns (and any materialized numpy mirror) *in place*
+— grants and tentative releases within a round are incremental writes to
+four cells, never a rebuild; the columns themselves are re-derived once
+per round from the workers' O(1)-maintained rate monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .placement import UrsaPlacement
+
+__all__ = [
+    "PLACEMENT_MODES",
+    "VectorUrsaPlacement",
+    "get_default_mode",
+    "resolve_mode",
+    "set_default_mode",
+]
+
+_NEG_INF = float("-inf")
+
+#: recognized values for ``UrsaConfig.placement_mode`` / ``--placement``
+PLACEMENT_MODES = ("scalar", "vector")
+
+#: process-wide default engine for systems that don't pin a mode; the CLI
+#: ``--placement`` flag (and the parallel runner's pool initializer) set it
+_DEFAULT_MODE = "scalar"
+
+
+def set_default_mode(mode: str) -> None:
+    """Set the process-wide default placement engine ("scalar"/"vector")."""
+    global _DEFAULT_MODE
+    _DEFAULT_MODE = resolve_mode(mode)
+
+
+def get_default_mode() -> str:
+    return _DEFAULT_MODE
+
+
+def resolve_mode(mode: Optional[str]) -> str:
+    """Validate a mode string; ``None`` means the process-wide default."""
+    if mode is None:
+        return _DEFAULT_MODE
+    if mode not in PLACEMENT_MODES:
+        raise ValueError(
+            f"unknown placement mode {mode!r}; known: {PLACEMENT_MODES}"
+        )
+    return mode
+
+
+class _VectorState:
+    """Struct-of-arrays worker headroom state for one placement round.
+
+    Columns (python lists indexed by worker) mirror what a list of
+    ``_WorkerView`` objects holds, derived with the identical float
+    expressions; ``_cols`` lazily materializes numpy copies for the
+    broadcast path and is patched — not rebuilt — on every commit/restore.
+    """
+
+    __slots__ = (
+        "n", "alive", "d0", "d1", "d2", "mem_avail", "mem_cap",
+        "inv0", "inv1", "inv2", "_cols", "prof",
+    )
+
+    def __init__(self, workers, ept: float, prof=None):
+        from .placement import _FLUID
+
+        r_cpu, r_net, r_disk = _FLUID
+        self.n = len(workers)
+        self.prof = prof
+        self.alive = alive = []
+        self.d0 = d0 = []
+        self.d1 = d1 = []
+        self.d2 = d2 = []
+        self.mem_avail = mem_avail = []
+        self.mem_cap = mem_cap = []
+        self.inv0 = inv0 = []
+        self.inv1 = inv1 = []
+        self.inv2 = inv2 = []
+        for w in workers:
+            # the paper's D_r(w) = max(0, (EPT − APT_r(w)) / EPT), computed
+            # with the same expressions as _WorkerView.__init__
+            d0.append(max(0.0, (ept - w.apt(r_cpu)) / ept))
+            d1.append(max(0.0, (ept - w.apt(r_net)) / ept))
+            d2.append(max(0.0, (ept - w.apt(r_disk)) / ept))
+            rates = w.processing_rates()
+            inv0.append(1.0 / (max(rates[0], 1e-9) * ept))
+            inv1.append(1.0 / (max(rates[1], 1e-9) * ept))
+            inv2.append(1.0 / (max(rates[2], 1e-9) * ept))
+            mem_avail.append(w.available_memory_mb)
+            mem_cap.append(w.memory_capacity_mb)
+            alive.append(w.alive)
+        self._cols = None
+
+    # ------------------------------------------------------------------
+    def _columns(self):
+        """Materialize (or return) the numpy mirrors of the columns."""
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = (
+                np.array(self.alive, dtype=bool),
+                np.array(self.d0), np.array(self.d1), np.array(self.d2),
+                np.array(self.mem_avail), np.array(self.mem_cap),
+                np.array(self.inv0), np.array(self.inv1), np.array(self.inv2),
+            )
+            if self.prof is not None:
+                self.prof.vector_rebuilds += 1
+        return cols
+
+    # ------------------------------------------------------------------
+    def score_row(self, usage, mem: float, broadcast_min: int) -> list:
+        """F(t, w) for one task profile against every worker.
+
+        Returns a dense python list (fast C-level ``max``/``.index`` for
+        the greedy loop); infeasible workers hold ``-inf``.  Dispatches to
+        the numpy broadcast above ``broadcast_min`` workers and to a scalar
+        column loop below it — both bit-identical to ``UrsaPlacement``'s
+        inlined scoring.
+        """
+        if self.n >= broadcast_min:
+            return self._row_broadcast(usage, mem)
+        return self._row_python(usage, mem)
+
+    def _row_broadcast(self, usage, mem: float) -> list:
+        u_cpu, u_net, u_disk = usage
+        alive, d0, d1, d2, avail, cap, inv0, inv1, inv2 = self._columns()
+        # feasibility mask: liveness, memory fit, and the blocking rule
+        # (some needed resource with zero headroom) per used resource
+        feasible = alive & ((avail + 1e-9) >= mem)
+        f = None
+        # term order (cpu, net, disk, mem) and the min-cap match the scalar
+        # engine op-for-op, so the summed floats are bitwise equal
+        if u_cpu > 0.0:
+            feasible &= d0 > 0.0
+            inc = u_cpu * inv0
+            np.minimum(inc, d0, out=inc)
+            f = d0 * inc
+        if u_net > 0.0:
+            feasible &= d1 > 0.0
+            inc = u_net * inv1
+            np.minimum(inc, d1, out=inc)
+            term = d1 * inc
+            f = term if f is None else f + term
+        if u_disk > 0.0:
+            feasible &= d2 > 0.0
+            inc = u_disk * inv2
+            np.minimum(inc, d2, out=inc)
+            term = d2 * inc
+            f = term if f is None else f + term
+        if mem > 0.0:
+            d_mem = avail / cap
+            feasible &= d_mem > 0.0
+            term = d_mem * np.minimum(mem / cap, d_mem)
+            f = term if f is None else f + term
+        if f is None:
+            f = np.zeros(self.n)
+        return np.where(feasible, f, _NEG_INF).tolist()
+
+    def _row_python(self, usage, mem: float) -> list:
+        """Scalar twin of :meth:`_row_broadcast` over the same columns (the
+        numpy call overhead loses on narrow clusters)."""
+        u_cpu, u_net, u_disk = usage
+        alive = self.alive
+        d0, d1, d2 = self.d0, self.d1, self.d2
+        mem_avail, mem_cap = self.mem_avail, self.mem_cap
+        inv0, inv1, inv2 = self.inv0, self.inv1, self.inv2
+        out = []
+        append = out.append
+        for i in range(self.n):
+            if not alive[i]:
+                append(_NEG_INF)
+                continue
+            avail = mem_avail[i]
+            if mem > avail + 1e-9:
+                append(_NEG_INF)
+                continue
+            f = 0.0
+            if u_cpu > 0.0:
+                dr = d0[i]
+                if dr <= 0.0:
+                    append(_NEG_INF)
+                    continue
+                inc = u_cpu * inv0[i]
+                if inc > dr:
+                    inc = dr
+                f += dr * inc
+            if u_net > 0.0:
+                dr = d1[i]
+                if dr <= 0.0:
+                    append(_NEG_INF)
+                    continue
+                inc = u_net * inv1[i]
+                if inc > dr:
+                    inc = dr
+                f += dr * inc
+            if u_disk > 0.0:
+                dr = d2[i]
+                if dr <= 0.0:
+                    append(_NEG_INF)
+                    continue
+                inc = u_disk * inv2[i]
+                if inc > dr:
+                    inc = dr
+                f += dr * inc
+            if mem > 0.0:
+                cap = mem_cap[i]
+                d_mem = avail / cap
+                if d_mem <= 0.0:
+                    append(_NEG_INF)
+                    continue
+                inc_mem = mem / cap
+                f += d_mem * (inc_mem if inc_mem <= d_mem else d_mem)
+            append(f)
+        return out
+
+    def score_one(self, i: int, usage, mem: float) -> float:
+        """F(t, w) for one (profile, worker) pair; ``-inf`` if infeasible.
+
+        Used to refresh a committed worker's entry in cached rows and to
+        score locality-constrained tasks — same op order as the rows.
+        """
+        if not self.alive[i]:
+            return _NEG_INF
+        avail = self.mem_avail[i]
+        if mem > avail + 1e-9:
+            return _NEG_INF
+        u_cpu, u_net, u_disk = usage
+        f = 0.0
+        if u_cpu > 0.0:
+            dr = self.d0[i]
+            if dr <= 0.0:
+                return _NEG_INF
+            inc = u_cpu * self.inv0[i]
+            if inc > dr:
+                inc = dr
+            f += dr * inc
+        if u_net > 0.0:
+            dr = self.d1[i]
+            if dr <= 0.0:
+                return _NEG_INF
+            inc = u_net * self.inv1[i]
+            if inc > dr:
+                inc = dr
+            f += dr * inc
+        if u_disk > 0.0:
+            dr = self.d2[i]
+            if dr <= 0.0:
+                return _NEG_INF
+            inc = u_disk * self.inv2[i]
+            if inc > dr:
+                inc = dr
+            f += dr * inc
+        if mem > 0.0:
+            cap = self.mem_cap[i]
+            d_mem = avail / cap
+            if d_mem <= 0.0:
+                return _NEG_INF
+            inc_mem = mem / cap
+            f += d_mem * (inc_mem if inc_mem <= d_mem else d_mem)
+        return f
+
+    # ------------------------------------------------------------------
+    def commit(self, i: int, usage, mem: float, touched=None) -> None:
+        """Shrink worker ``i``'s headroom for one granted task (same ops in
+        the same order as the scalar ``_commit``); patches the numpy mirror
+        in place when it exists."""
+        if touched is not None and i not in touched:
+            # dirty-set undo: snapshot a worker once, on first touch
+            touched[i] = (self.d0[i], self.d1[i], self.d2[i], self.mem_avail[i])
+        u_cpu, u_net, u_disk = usage
+        if u_cpu > 0.0:
+            nd = self.d0[i] - u_cpu * self.inv0[i]
+            self.d0[i] = nd if nd > 0.0 else 0.0
+        if u_net > 0.0:
+            nd = self.d1[i] - u_net * self.inv1[i]
+            self.d1[i] = nd if nd > 0.0 else 0.0
+        if u_disk > 0.0:
+            nd = self.d2[i] - u_disk * self.inv2[i]
+            self.d2[i] = nd if nd > 0.0 else 0.0
+        self.mem_avail[i] -= mem
+        cols = self._cols
+        if cols is not None:
+            cols[1][i] = self.d0[i]
+            cols[2][i] = self.d1[i]
+            cols[3][i] = self.d2[i]
+            cols[4][i] = self.mem_avail[i]
+
+    def restore(self, i: int, snap: tuple) -> None:
+        """Undo every commit against worker ``i`` (tentative scoring)."""
+        self.d0[i], self.d1[i], self.d2[i], self.mem_avail[i] = snap
+        cols = self._cols
+        if cols is not None:
+            cols[1][i], cols[2][i], cols[3][i], cols[4][i] = snap
+
+
+class VectorUrsaPlacement(UrsaPlacement):
+    """Algorithm 1 on the vectorized engine.
+
+    Drop-in replacement for :class:`UrsaPlacement` (same lazy-heap stage
+    selection, generation reuse and dirty-set undo — those drivers are
+    inherited); only the scoring core is swapped for the profile-dedup /
+    broadcast engine.  Selected via ``UrsaConfig(placement_mode="vector")``
+    or the ``--placement vector`` CLI flag.
+    """
+
+    def __init__(
+        self,
+        ept: float = 0.3,
+        stage_bonus: float = 1e6,
+        stage_aware: bool = True,
+        ignore_network: bool = False,
+        broadcast_min_workers: int = 32,
+    ):
+        super().__init__(ept, stage_bonus, stage_aware, ignore_network)
+        if broadcast_min_workers < 2:
+            raise ValueError("broadcast_min_workers must be >= 2")
+        self.broadcast_min_workers = broadcast_min_workers
+        # per-round profile-row cache for the non-stage-aware task heap
+        self._round_rows: dict = {}
+
+    # ------------------------------------------------------------------
+    def place(self, ready, workers, now, job_policy):
+        self._round_rows = {}
+        return super().place(ready, workers, now, job_policy)
+
+    def _build_state(self, workers) -> _VectorState:
+        return _VectorState(workers, self.ept, self._prof)
+
+    def _commit_assign(self, state: _VectorState, widx, usage, mem) -> None:
+        state.commit(widx, usage, mem)
+        rows = self._round_rows
+        if rows:
+            score_one = state.score_one
+            for key, entry in rows.items():
+                # headroom only shrinks: a worker infeasible for a profile
+                # can never become feasible again within the round, and a
+                # refresh only lowers the entry — the cached (best, argmax)
+                # stays valid unless the refreshed worker *was* the argmax
+                row = entry[0]
+                if row[widx] != _NEG_INF:
+                    row[widx] = score_one(widx, key[0], key[1])
+                    if entry[2] == widx:
+                        entry[1] = None  # best is stale; recompute on read
+
+    # ------------------------------------------------------------------
+    def _stage_score_tentative(self, scored, state) -> tuple[float, list]:
+        touched = self._touched  # worker index -> (d0, d1, d2, mem) snapshot
+        result = self._stage_score(scored, state, touched)
+        for i, snap in touched.items():
+            state.restore(i, snap)
+        touched.clear()
+        return result
+
+    def _stage_score(self, scored, state: _VectorState, touched=None):
+        """StageScore via profile rows: one F row per distinct (usage, mem)
+        profile, a cached (best, argmax) per row, and a single-entry
+        refresh per commit.  Scores only shrink within a round, so a
+        refresh invalidates the cached best only when it hits the argmax
+        itself (entry[1] = None → recomputed on next read).  Decision- and
+        float-identical to the scalar engine: rows are unchanged between
+        commits, so the cached first-occurrence argmax equals what a
+        per-task ``max``/``.index`` rescan would find."""
+        prof = self._prof
+        broadcast_min = self.broadcast_min_workers
+        plan: list = []
+        plan_append = plan.append
+        score = 0.0
+        stage_bonus = self.stage_bonus
+        rows: dict = {}  # (usage, mem) -> [row, best_f, argmax]
+        rows_computed = 0
+        fallbacks = 0
+        scanned = 0
+        score_one = state.score_one
+        commit = state.commit
+        last_key = None
+        entry = None
+        for task, usage, mem in scored:
+            loc = task.locality
+            if loc is None:
+                key = (usage, mem)
+                # stages list same-profile tasks consecutively, so one
+                # equality check usually replaces the dict lookup
+                if key != last_key:
+                    entry = rows.get(key)
+                    if entry is None:
+                        row = state.score_row(usage, mem, broadcast_min)
+                        best = max(row)
+                        entry = [
+                            row, best,
+                            row.index(best) if best != _NEG_INF else -1,
+                        ]
+                        rows[key] = entry
+                        rows_computed += 1
+                        scanned += state.n
+                    last_key = key
+                best_f = entry[1]
+                if best_f is None:  # stale after an argmax refresh
+                    row = entry[0]
+                    best_f = max(row)
+                    entry[1] = best_f
+                    entry[2] = row.index(best_f) if best_f != _NEG_INF else -1
+                if best_f == _NEG_INF:
+                    stage_bonus = 0.0
+                    continue
+                widx = entry[2]
+            else:
+                # scalar fallback: a locality pin leaves one candidate
+                fallbacks += 1
+                scanned += 1
+                best_f = score_one(loc, usage, mem)
+                if best_f == _NEG_INF:
+                    stage_bonus = 0.0
+                    continue
+                widx = loc
+            plan_append((task, usage, mem, widx, best_f))
+            commit(widx, usage, mem, touched)
+            for k2, e2 in rows.items():
+                row2 = e2[0]
+                if row2[widx] != _NEG_INF:
+                    row2[widx] = score_one(widx, k2[0], k2[1])
+                    scanned += 1
+                    if e2[2] == widx:
+                        e2[1] = None  # best is stale; recompute on read
+            score += best_f
+        if prof is not None:
+            prof.stages_scored += 1
+            prof.tasks_scored += len(scored)
+            prof.workers_scanned += scanned
+            prof.vector_stages += 1
+            prof.vector_rows += rows_computed
+            prof.vector_fallbacks += fallbacks
+        if not plan:
+            return (0.0, [])
+        return (score / len(plan) + stage_bonus, plan)
+
+    # ------------------------------------------------------------------
+    def _best_worker(self, task, state: _VectorState):
+        """Fig-7 task-mode scoring through the round-level row cache (rows
+        stay valid across the lazy heap's re-evaluations; permanent commits
+        refresh single entries via :meth:`_commit_assign`)."""
+        prof = self._prof
+        usage = self._usage(task)
+        mem = task.est_mem_mb
+        if task.locality is not None:
+            if prof is not None:
+                prof.tasks_scored += 1
+                prof.workers_scanned += 1
+                prof.vector_fallbacks += 1
+            f = state.score_one(task.locality, usage, mem)
+            if f == _NEG_INF:
+                return None, 0.0
+            return task.locality, f
+        rows = self._round_rows
+        key = (usage, mem)
+        entry = rows.get(key)
+        if entry is None:
+            row = state.score_row(usage, mem, self.broadcast_min_workers)
+            best = max(row)
+            entry = [row, best, row.index(best) if best != _NEG_INF else -1]
+            rows[key] = entry
+            if prof is not None:
+                prof.vector_rows += 1
+                prof.workers_scanned += state.n
+        if prof is not None:
+            prof.tasks_scored += 1
+        best_f = entry[1]
+        if best_f is None:  # stale after an argmax refresh in _commit_assign
+            row = entry[0]
+            best_f = max(row)
+            entry[1] = best_f
+            entry[2] = row.index(best_f) if best_f != _NEG_INF else -1
+        if best_f == _NEG_INF:
+            return None, 0.0
+        return entry[2], best_f

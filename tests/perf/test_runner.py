@@ -83,6 +83,50 @@ def test_runner_rejects_unknown_experiment():
         ParallelRunner().run("table99", SCALES["tiny"])
 
 
+def test_runner_rejects_unknown_placement_mode():
+    with pytest.raises(ValueError):
+        ParallelRunner(placement_mode="simd")
+
+
+def test_serial_runner_reports_compute_split():
+    runner = ParallelRunner(workers=0)
+    with contextlib.redirect_stdout(io.StringIO()):
+        runner.run("fig9", SCALES["tiny"])
+    assert runner.executed_units == 1
+    assert runner.compute_s > 0
+    # harness overhead (pickle round-trip, bookkeeping) rides on top of
+    # the pure simulation span, never below it
+    assert runner.exec_wall_s >= runner.compute_s
+
+
+def test_serial_placement_mode_is_scoped_to_the_run():
+    import pickle
+
+    from repro.scheduler import vector
+
+    with contextlib.redirect_stdout(io.StringIO()):
+        base = ParallelRunner(workers=0)
+        expected = base.run("fig9", SCALES["tiny"])
+        runner = ParallelRunner(workers=0, placement_mode="vector")
+        got = runner.run("fig9", SCALES["tiny"])
+    # bit-identical result through the vector engine, and the process-wide
+    # default must be restored afterwards
+    assert pickle.dumps(got) == pickle.dumps(expected)
+    assert vector.get_default_mode() == "scalar"
+
+
+def test_warm_pool_persists_across_runs_and_closes():
+    with ParallelRunner(workers=2) as runner:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runner.run("fig9", SCALES["tiny"])
+            pool = runner._pool
+            assert pool is not None
+            runner.run("fig9", SCALES["tiny"])
+        assert runner._pool is pool  # same interpreters, no respawn
+        assert runner.compute_s > 0
+    assert runner._pool is None  # context exit tears the pool down
+
+
 def test_run_all_only_subset():
     with contextlib.redirect_stdout(io.StringIO()) as out:
         results = run_all("tiny", only=["fig8"])

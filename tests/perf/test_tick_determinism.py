@@ -58,6 +58,19 @@ def test_fast_path_bit_identical_in_task_mode():
     )
 
 
+@pytest.mark.parametrize("policy", ["ejf", "srjf"])
+def test_vector_engine_bit_identical(policy):
+    """The vectorized F(t, w) engine reproduces the scalar metrics exactly
+    (which the tests above pin to the frozen legacy reference in turn)."""
+    assert _metrics(policy, placement_mode="vector") == _metrics(policy)
+
+
+def test_vector_engine_bit_identical_in_task_mode():
+    assert _metrics("ejf", stage_aware=False, placement_mode="vector") == _metrics(
+        "ejf", stage_aware=False
+    )
+
+
 def test_profiled_run_is_identical_and_populates_counters():
     base = _metrics("ejf")
     prof = tick_profile.enable()

@@ -1,0 +1,213 @@
+"""Property tests pinning the vector placement engine to the scalar one.
+
+The vector engine claims *bit*-identity, not approximate equality: every
+F(t, w) it produces — through the profile-row python loop, the numpy
+broadcast, and the single-pair ``score_one`` refresh — must equal the
+scalar engine's float exactly, across resource mixes, the D_r = 0
+blocking rule, Inc-capping, memory infeasibility, dead workers and
+locality pins.  These tests enumerate randomized states and compare
+engines decision-for-decision and float-for-float.
+"""
+
+import random
+
+import pytest
+
+from repro.scheduler import (
+    EarliestJobFirst,
+    ReferenceUrsaPlacement,
+    UrsaPlacement,
+    VectorUrsaPlacement,
+)
+from repro.scheduler.placement import _WorkerView, _task_usage
+from repro.scheduler.vector import (
+    PLACEMENT_MODES,
+    _VectorState,
+    get_default_mode,
+    resolve_mode,
+    set_default_mode,
+)
+
+from .test_placement import _randomized_setup, build_jm, ready_stages
+
+
+def _collect_profiles(stages):
+    """Distinct (usage, est_mem) profiles over every ready task."""
+    profiles = []
+    seen = set()
+    for stage in stages:
+        for task in stage.tasks:
+            usage = _task_usage(task, False)
+            key = (usage, task.est_mem_mb)
+            if key not in seen:
+                seen.add(key)
+                profiles.append(key)
+    return profiles
+
+
+def _scalar_row(placement, views, stage, usage, mem):
+    """Brute-force reference row: the inlined scalar scorer per worker."""
+    task = stage.tasks[0]
+    task_mem = task.est_mem_mb
+    try:
+        task.est_mem_mb = mem
+        out = []
+        for view in views:
+            f = placement._score(task, usage, view)
+            out.append(float("-inf") if f is None else f)
+        return out
+    finally:
+        task.est_mem_mb = task_mem
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_score_row_matches_bruteforce_scalar_scorer(seed):
+    """Vector rows == per-worker scalar F(t, w), float-for-float, on
+    randomized worker states (mixed loads, blocking, mem pressure)."""
+    workers, stages = _randomized_setup(seed, n_jobs=4, machines=6)
+    rng = random.Random(seed)
+    for w in rng.sample(workers, 2):
+        w.alive = rng.random() < 0.5  # dead workers must score -inf
+    placement = UrsaPlacement(ept=0.3)
+    views = [_WorkerView(w, i, ept=0.3) for i, w in enumerate(workers)]
+    state = _VectorState(workers, ept=0.3)
+    for usage, mem in _collect_profiles(stages):
+        expected = _scalar_row(placement, views, stages[0], usage, mem)
+        got_python = state._row_python(usage, mem)
+        got_numpy = state._row_broadcast(usage, mem)
+        assert got_python == expected  # exact: same floats, same -inf slots
+        assert got_numpy == expected
+        for i in range(len(workers)):
+            assert state.score_one(i, usage, mem) == expected[i]
+
+
+def test_score_row_covers_blocking_capping_and_memory():
+    """Directed edge cases: a zero-headroom resource blocks, a huge task's
+    Inc is capped at D_r, and memory infeasibility wins over everything."""
+    workers, stages = _randomized_setup(0, n_jobs=1, machines=4)
+    state = _VectorState(workers, ept=0.3)
+    usage = (10.0, 0.0, 0.0)
+
+    state.d0[1] = 0.0  # blocking rule: needed resource with zero headroom
+    if state._cols is not None:
+        state._cols[1][1] = 0.0
+    row = state._row_python(usage, 0.0)
+    assert row[1] == float("-inf")
+    assert state._row_broadcast(usage, 0.0) == row
+
+    huge = (1e9, 1e9, 1e9)  # Inc-capping: F bounded by sum of D_r^2 (+ mem)
+    for i, f in enumerate(state._row_python(huge, 0.0)):
+        if f != float("-inf"):
+            cap = state.d0[i] ** 2 + state.d1[i] ** 2 + state.d2[i] ** 2
+            assert f <= cap + 1e-12
+    assert state._row_broadcast(huge, 0.0) == state._row_python(huge, 0.0)
+
+    too_big = max(state.mem_cap) * 2.0
+    assert all(f == float("-inf") for f in state._row_python(usage, too_big))
+    assert all(f == float("-inf") for f in state._row_broadcast(usage, too_big))
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("stage_aware", [True, False])
+def test_vector_engine_matches_scalar_and_reference(seed, stage_aware):
+    """Full placement rounds: scalar, vector (both dispatch paths) and the
+    frozen brute-force reference must agree on every (task, worker, score)."""
+
+    def run(make):
+        workers, stages = _randomized_setup(seed, n_jobs=4, machines=4)
+        rng = random.Random(seed * 31 + 7)
+        for stage in stages:  # sprinkle locality pins over the ready set
+            for task in stage.tasks:
+                if rng.random() < 0.2:
+                    task.locality = rng.randrange(len(workers))
+        out = make().place(stages, workers, 25.0, EarliestJobFirst(weight=0.1))
+        return [(a.jm.job.job_id, a.task.task_id, a.worker, a.score) for a in out]
+
+    expected = run(lambda: UrsaPlacement(ept=0.3, stage_aware=stage_aware))
+    assert run(lambda: VectorUrsaPlacement(ept=0.3, stage_aware=stage_aware)) == expected
+    assert run(  # broadcast_min_workers=2 forces the numpy path at W=4
+        lambda: VectorUrsaPlacement(
+            ept=0.3, stage_aware=stage_aware, broadcast_min_workers=2)
+    ) == expected
+    assert run(lambda: ReferenceUrsaPlacement(ept=0.3, stage_aware=stage_aware)) == expected
+
+
+def test_commit_restore_roundtrip_patches_numpy_mirror():
+    workers, _ = _randomized_setup(3, n_jobs=1, machines=4)
+    state = _VectorState(workers, ept=0.3)
+    state._columns()  # materialize the numpy mirror so patches must hit it
+    before = (list(state.d0), list(state.d1), list(state.d2), list(state.mem_avail))
+    before_row = state._row_broadcast((3.0, 2.0, 1.0), 64.0)
+
+    touched = {}
+    state.commit(2, (3.0, 2.0, 1.0), 64.0, touched)
+    state.commit(2, (1.0, 0.0, 0.5), 32.0, touched)  # second commit, one snapshot
+    assert list(touched) == [2]
+    changed = state._row_broadcast((3.0, 2.0, 1.0), 64.0)
+    assert changed[2] != before_row[2] or changed[2] == float("-inf")
+
+    state.restore(2, touched[2])
+    assert (list(state.d0), list(state.d1), list(state.d2),
+            list(state.mem_avail)) == before
+    assert state._row_broadcast((3.0, 2.0, 1.0), 64.0) == before_row
+
+
+def test_mode_resolution_and_validation():
+    assert set(PLACEMENT_MODES) == {"scalar", "vector"}
+    assert resolve_mode("vector") == "vector"
+    assert resolve_mode(None) == get_default_mode()
+    with pytest.raises(ValueError):
+        resolve_mode("simd")
+    prev = get_default_mode()
+    try:
+        set_default_mode("vector")
+        assert resolve_mode(None) == "vector"
+        with pytest.raises(ValueError):
+            set_default_mode("nope")
+        assert get_default_mode() == "vector"  # failed set leaves it alone
+    finally:
+        set_default_mode(prev)
+    with pytest.raises(ValueError):
+        VectorUrsaPlacement(broadcast_min_workers=1)
+
+
+def test_ursa_config_selects_vector_engine():
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.scheduler import UrsaConfig, UrsaSystem
+
+    cluster = Cluster(ClusterSpec.small(num_machines=2, cores=4, core_rate_mbps=10.0))
+    system = UrsaSystem(cluster, UrsaConfig(placement_mode="vector"))
+    assert isinstance(system.placement, VectorUrsaPlacement)
+    scalar = UrsaSystem(Cluster(ClusterSpec.small(
+        num_machines=2, cores=4, core_rate_mbps=10.0)), UrsaConfig())
+    assert not isinstance(scalar.placement, VectorUrsaPlacement)
+    with pytest.raises(ValueError):
+        UrsaSystem(Cluster(ClusterSpec.small(
+            num_machines=2, cores=4, core_rate_mbps=10.0)),
+            UrsaConfig(placement_mode="simd"))
+
+
+def test_vector_profiler_counters_populate():
+    """A profiled vector run reports its stages/rows/fallback activity."""
+    from repro.cluster import Cluster, ClusterSpec
+    from repro.perf import profile as tick_profile
+
+    prof = tick_profile.enable()
+    try:
+        cluster = Cluster(ClusterSpec.small(num_machines=4, cores=4, core_rate_mbps=10.0))
+        from repro.scheduler import Worker
+
+        workers = [Worker(cluster, i, EarliestJobFirst()) for i in range(4)]
+        jm = build_jm(cluster, n_tasks=6, size=10.0)
+        for task in list(jm.ready_tasks)[:2]:
+            task.locality = 1
+        placement = VectorUrsaPlacement(ept=0.3)
+        placement.place(ready_stages(jm), workers, 0.0, EarliestJobFirst())
+    finally:
+        tick_profile.disable()
+    assert prof.vector_stages > 0
+    assert prof.vector_rows > 0
+    assert prof.vector_fallbacks >= 2  # the two locality-pinned tasks
+    d = prof.as_dict()
+    assert {"vector_stages", "vector_rows", "vector_fallbacks",
+            "vector_rebuilds"} <= set(d)
