@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-sim bench-place place-identity profile trace faults-smoke check-docs telemetry-smoke metrics-baseline
+.PHONY: test bench bench-smoke bench-baseline bench-sim bench-place place-identity profile trace analyze-smoke faults-smoke check-docs telemetry-smoke metrics-baseline
 
 test:
 	$(PY) -m pytest -x -q
@@ -84,3 +84,16 @@ trace:
 	$(PY) -m repro.experiments --trace --trace-out traces --only table2 --scale tiny
 	$(PY) scripts/trace_stats.py --validate-chrome traces/trace.json
 	$(PY) scripts/trace_stats.py traces/trace.jsonl
+
+# Smoke-test the why-slow attribution engine on a canonical fig8 run:
+# --analyze derives the critical-path JCT ledgers + idle blame ledger and
+# fails on any sum-to-JCT identity violation; trace_analyze re-derives the
+# same attribution from the JSONL artifact (--check re-validates); the
+# flow-enriched Chrome trace and the idle-blame Prometheus gauges are both
+# schema-validated.
+analyze-smoke:
+	$(PY) -m repro.experiments --analyze --trace-out analyze-out --only fig8 --scale tiny
+	$(PY) scripts/trace_analyze.py analyze-out/trace.jsonl --check
+	$(PY) scripts/trace_analyze.py analyze-out/trace.jsonl --top 5
+	$(PY) scripts/trace_stats.py --validate-chrome analyze-out/trace.json
+	$(PY) scripts/metrics_diff.py validate-prom analyze-out/attribution.prom

@@ -6,7 +6,9 @@ the tiny scale, seed 0) against the committed ``BENCH_metrics.json``
 baseline, with per-metric tolerances.  The simulation is bit-deterministic,
 so the default tolerance is **zero**: any drift in grants, busy-seconds,
 utilization or latency quantiles fails CI until the baseline is
-regenerated on purpose.
+regenerated on purpose.  The same run records a lifecycle trace and gates
+the critical-path attribution summary (per-unit JCT ledger totals and the
+idle-time blame ledger) under ``attribution.*`` keys.
 
 Commands::
 
@@ -87,20 +89,30 @@ def collect_candidate(spec: dict = CANONICAL, placement: str | None = None) -> d
     ``placement`` selects the placement engine for the run ("scalar" /
     "vector"); the vector engine is bit-identical to the scalar one, so
     either must reproduce the same committed baseline at zero tolerance.
+
+    The lifecycle recorder runs alongside telemetry, and a small
+    critical-path attribution summary (per-unit JCT ledger totals plus the
+    idle-time blame totals) is gated under ``attribution.*`` — the ledgers
+    are derived from the same deterministic event stream, so they too must
+    match the baseline exactly.
     """
     from repro.experiments.registry import run_all
+    from repro.obs import attribution as attr_mod
+    from repro.obs import recorder as rec_mod
     from repro.obs import telemetry as tel_mod
     from repro.scheduler import vector as vector_mod
 
     prev_mode = vector_mod.get_default_mode()
     if placement is not None:
         vector_mod.set_default_mode(placement)
+    rec = rec_mod.enable()
     tel_mod.enable(interval=spec["interval"])
     try:
         with contextlib.redirect_stdout(io.StringIO()):
             run_all(spec["scale"], only=list(spec["experiments"]), seed=spec["seed"])
     finally:
         tel = tel_mod.disable()
+        rec_mod.disable()
         vector_mod.set_default_mode(prev_mode)
     summary = tel.summary()
 
@@ -114,6 +126,18 @@ def collect_candidate(spec: dict = CANONICAL, placement: str | None = None) -> d
             picked[key] = node
         _flatten(unit, picked, flat)
     _flatten("totals", summary["totals"], flat)
+
+    attr = attr_mod.attribute(rec.events)
+    for unit, u in attr["units"].items():
+        picked = {
+            "n_jobs": len(u["jobs"]),
+            "ledger_totals": u["ledger_totals"],
+            "idle": {
+                "totals": u["idle"]["totals"],
+                "capacity_seconds": u["idle"]["capacity_seconds"],
+            },
+        }
+        _flatten(f"attribution.{unit}", picked, flat)
     return flat
 
 

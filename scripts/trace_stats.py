@@ -9,11 +9,15 @@ purely from the recorded events::
     PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl
     PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --per-unit
     PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --format csv
+    PYTHONPATH=src python scripts/trace_stats.py traces/trace.jsonl --format csv --events
     PYTHONPATH=src python scripts/trace_stats.py --validate-chrome traces/trace.json
 
 ``--format csv`` writes the same rows as machine-readable CSV (one extra
 leading ``unit`` column; the header row is always emitted) for spreadsheet
-or pandas post-processing.
+or pandas post-processing.  ``--events`` dumps the raw events instead
+(``unit,t,kind,payload``); the payload column is the event's remaining
+fields as JSON, which always contains commas — every cell goes through
+``csv.writer`` so quoting stays correct for any payload content.
 
 ``--validate-chrome`` checks a Chrome Trace JSON file against the schema
 subset the exporter emits (the CI smoke job gates on this) and exits
@@ -43,6 +47,23 @@ def _write_csv(per_unit_stats: dict, out) -> None:
             header_written = True
         for row in rows:
             writer.writerow([label] + row)
+
+
+def _write_events_csv(events: list[dict], out) -> None:
+    """Dump raw events as ``unit,t,kind,payload`` rows.
+
+    The payload cell is the event's kind-specific fields serialized as JSON
+    (sorted keys) — it always contains commas and may contain quotes, so
+    rows must go through ``csv.writer``, never a manual ``",".join``.
+    """
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["unit", "t", "kind", "payload"])
+    for ev in events:
+        payload = {k: v for k, v in ev.items() if k not in ("unit", "t", "kind")}
+        writer.writerow([
+            ev.get("unit", "run"), ev["t"], ev["kind"],
+            json.dumps(payload, sort_keys=True, default=str),
+        ])
 
 
 def _validate_chrome(path: str) -> int:
@@ -78,6 +99,11 @@ def main(argv=None) -> int:
              "output only (no event-count preamble)",
     )
     parser.add_argument(
+        "--events", action="store_true",
+        help="with --format csv: dump the raw events (unit,t,kind,payload) "
+             "instead of the latency tables; payload is JSON, safely quoted",
+    )
+    parser.add_argument(
         "--validate-chrome", default=None, metavar="TRACE_JSON",
         help="validate a Chrome Trace JSON export instead of summarizing",
     )
@@ -95,6 +121,12 @@ def main(argv=None) -> int:
     if not events:
         print(f"{args.trace}: empty trace", file=sys.stderr)
         return 1
+
+    if args.events:
+        if args.format != "csv":
+            parser.error("--events requires --format csv")
+        _write_events_csv(events, sys.stdout)
+        return 0
 
     if args.per_unit:
         units: dict[str, list] = {}

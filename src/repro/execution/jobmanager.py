@@ -128,6 +128,16 @@ class JobManager:
                     task.stage.stage_id if task.stage is not None else -1,
                     len(task.monotasks), task.input_size_mb(),
                 )
+                rec.task_deps(
+                    now, self.job.job_id, task.task_id,
+                    [
+                        [
+                            mt.mt_id, mt.rtype.value, mt.input_size_mb,
+                            mt.work_mb, [p.mt_id for p in mt.parents],
+                        ]
+                        for mt in task.monotasks
+                    ],
+                )
         self.backend.on_tasks_ready(self, tasks)
 
     # ------------------------------------------------------------------

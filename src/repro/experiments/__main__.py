@@ -22,6 +22,11 @@ Examples::
     # (open the latter at https://ui.perfetto.dev)
     python -m repro.experiments --trace --only table2 --scale tiny
 
+    # why-slow attribution: critical-path ledgers + idle blame; writes
+    # traces/attribution.json and flow-enriched trace.json (implies --trace,
+    # works with --parallel: workers record locally, the parent splices)
+    python -m repro.experiments --analyze --only table2 --scale tiny
+
     # telemetry: live per-unit dashboard panels, or metric files
     # (telemetry.json / metrics.prom / scrapes/*.prom / dashboard.txt)
     python -m repro.experiments --dashboard --only table2 --scale tiny
@@ -37,6 +42,7 @@ import sys
 import time
 
 from ..metrics.report import format_latency_rows
+from ..obs import attribution as obs_attribution
 from ..obs import derive_latency, write_trace_files
 from ..obs import dashboard as obs_dashboard
 from ..obs import promexport
@@ -101,12 +107,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--trace", action="store_true",
         help="record monotask lifecycle events and export JSONL + Chrome "
-             "Trace JSON (forces serial in-process execution)",
+             "Trace JSON (works with --parallel: pool workers record "
+             "locally and the parent splices the streams in unit order)",
     )
     parser.add_argument(
         "--trace-out", default=None, metavar="DIR",
         help="directory for trace.jsonl / trace.json (default: traces; "
              "implies --trace)",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="derive why-slow attribution from the trace: per-job "
+             "critical-path JCT ledgers and the idle-time blame ledger; "
+             "writes attribution.json next to the trace files and enriches "
+             "trace.json with critical-path flow arrows (implies --trace)",
     )
     parser.add_argument(
         "--dashboard", action="store_true",
@@ -161,11 +175,7 @@ def main(argv: list[str] | None = None) -> int:
         # parent's counters would stay empty — force the serial path
         parser.error("--profile requires serial execution; omit --parallel")
 
-    tracing = args.trace or args.trace_out is not None
-    if tracing and workers:
-        # same constraint as --profile: pool workers would record into
-        # their own processes and the parent's recorder would stay empty
-        parser.error("--trace requires serial execution; omit --parallel")
+    tracing = args.trace or args.trace_out is not None or args.analyze
 
     telemetry_on = args.dashboard or args.telemetry_out is not None
     if telemetry_on and workers:
@@ -208,19 +218,39 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\n{summary}", file=sys.stderr)
     if prof is not None:
         print(f"\n{prof.report()}")
+    attr = None
     if rec is not None:
         stats = derive_latency(rec.events)
         print("\n" + format_latency_rows(
             stats, title="Trace-derived latency distributions"
         ))
         out_dir = args.trace_out or "traces"
-        paths = write_trace_files(rec, out_dir)
+        if args.analyze:
+            attr = obs_attribution.attribute(rec.events)
+        paths = write_trace_files(rec, out_dir, attribution=attr)
         print(
             f"[trace] {len(rec.events)} events across {len(stats['units'])} "
             f"unit(s) -> {paths['jsonl']} and {paths['chrome']} "
             "(open trace.json at https://ui.perfetto.dev)",
             file=sys.stderr,
         )
+        if attr is not None:
+            attr_path = os.path.join(out_dir, "attribution.json")
+            obs_attribution.write_attribution(attr, attr_path)
+            prom_path = promexport.write_attr_prom(
+                attr, os.path.join(out_dir, "attribution.prom")
+            )
+            n_jobs = sum(len(u["jobs"]) for u in attr["units"].values())
+            print(
+                f"[analyze] {n_jobs} job ledger(s) across "
+                f"{len(attr['units'])} unit(s) -> {attr_path}, {prom_path}",
+                file=sys.stderr,
+            )
+            errors = obs_attribution.validate(attr)
+            if errors:
+                for err in errors:
+                    print(f"[analyze] IDENTITY VIOLATION: {err}", file=sys.stderr)
+                return 1
     if tel is not None and args.telemetry_out is not None:
         out_dir = args.telemetry_out
         os.makedirs(out_dir, exist_ok=True)
@@ -234,6 +264,13 @@ def main(argv: list[str] | None = None) -> int:
         with open(dash_path, "w", encoding="utf-8") as fh:
             fh.write(obs_dashboard.render_dashboard(tel))
             fh.write("\n")
+            if attr is not None:
+                # --analyze + --telemetry-out: append the idle-blame panels
+                for unit_label in sorted(attr["units"]):
+                    fh.write(obs_dashboard.render_blame(
+                        unit_label, attr["units"][unit_label]
+                    ))
+                    fh.write("\n")
         print(
             f"[telemetry] {len(tel.live_units())} unit(s) -> {summary_path}, "
             f"{prom_path}, {len(scrapes)} scrape file(s), {dash_path}",

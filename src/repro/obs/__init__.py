@@ -18,11 +18,23 @@ Public surface:
 * :mod:`repro.obs.promexport` — Prometheus/OpenMetrics text exposition of
   a telemetry collector, plus a line-format validator.
 * :mod:`repro.obs.dashboard` — ASCII dashboard panels over telemetry.
+* :mod:`repro.obs.critpath` — per-job span trees and the scheduling-aware
+  critical path extracted from a recorded event stream.
+* :mod:`repro.obs.attribution` — why-slow JCT ledgers (segments sum to JCT)
+  and the per-worker idle-time blame ledger, plus the canonical
+  ``attribution.json`` serialization and digest.
 """
 
 from __future__ import annotations
 
 from . import dashboard, events, promexport, telemetry, timeseries
+from .attribution import (
+    attribute,
+    attribution_digest,
+    render_json,
+    write_attribution,
+)
+from .critpath import UnitTrace, critical_path, parse_events
 from .export import (
     chrome_trace,
     read_jsonl,
@@ -40,4 +52,6 @@ __all__ = [
     "Dist", "dist", "percentile", "derive_latency", "RESOURCE_ORDER",
     "write_jsonl", "read_jsonl", "chrome_trace", "write_chrome_trace",
     "write_trace_files", "validate_chrome_trace",
+    "UnitTrace", "parse_events", "critical_path",
+    "attribute", "attribution_digest", "render_json", "write_attribution",
 ]

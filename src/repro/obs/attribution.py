@@ -1,0 +1,272 @@
+"""Why-slow attribution: JCT ledgers and the idle-time blame ledger.
+
+Two products, both derived offline from a recorded event stream (analysis
+never touches the hot path, so enabling it cannot perturb metrics):
+
+* **Per-job JCT ledger** — :func:`attribute` folds each job's critical-path
+  segments (:mod:`repro.obs.critpath`) into a fixed-category ledger whose
+  entries sum to the job's completion time *by construction*: the segments
+  tile ``[submit, finish]``, so the sum telescopes to JCT exactly (up to
+  float associativity — the regression gate allows 1e-9 relative error).
+* **Idle-time blame ledger** — for every Ursa worker and resource, every
+  idle slot-second of the run is classified by *why* the slot sat idle:
+  ``fault_down`` (worker offline), ``blocked_policy`` (runnable work existed
+  somewhere in the cluster but capping/blocking or placement kept it off
+  this slot), ``admission_gated`` (no runnable work, but jobs were waiting
+  at the memory-gated admission controller), or ``no_work`` (nothing to
+  run anywhere).  This is the paper's Obj-2 waste metric made first-class:
+  the ledger shows directly how much executor-style idleness each policy
+  leaves behind.
+
+The result dict is JSON-ready; :func:`render_json` serializes it with
+sorted keys so the artifact is byte-identical for identical event streams
+(serial vs. parallel runs, scalar vs. vector placement), and
+:func:`attribution_digest` pins that invariant in tests and CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from . import events as ev
+from .critpath import UnitTrace, critical_path, parse_events
+
+__all__ = [
+    "CATEGORIES", "IDLE_CAUSES", "RTYPES",
+    "attribute", "attribute_unit", "idle_blame",
+    "render_json", "attribution_digest", "write_attribution", "validate",
+    "top_jobs", "sum_error",
+]
+
+#: every ledger key, in report order; absent phases are exact 0.0
+CATEGORIES = (
+    "admission_wait", "jm_startup", "sched_delay",
+    "queue_wait_cpu", "queue_wait_network", "queue_wait_disk",
+    "compute", "transfer", "disk_io",
+    "contention_cpu", "contention_network", "contention_disk",
+    "fault_recovery", "execution", "failed", "other",
+)
+
+#: idle-second blame classes, in priority order (first match wins)
+IDLE_CAUSES = ("fault_down", "blocked_policy", "admission_gated", "no_work")
+
+RTYPES = ("cpu", "network", "disk")
+
+
+def attribute(events: Iterable[dict]) -> dict:
+    """Full attribution of an event stream: ``{"units": {label: ...}}``."""
+    units = parse_events(events)
+    return {
+        "schema": 1,
+        "units": {label: attribute_unit(units[label]) for label in sorted(units)},
+    }
+
+
+def attribute_unit(unit: UnitTrace) -> dict:
+    """One unit's attribution: per-job ledgers + the idle blame ledger."""
+    jobs = {}
+    totals = {c: 0.0 for c in CATEGORIES}
+    for jid in sorted(unit.jobs):
+        job = unit.jobs[jid]
+        if job.finish_t is None:
+            continue  # never completed (trace truncated); nothing to ledger
+        path = critical_path(unit, job)
+        ledger = {c: 0.0 for c in CATEGORIES}
+        for seg in path:
+            ledger[seg["label"]] += seg["t1"] - seg["t0"]
+        for c in CATEGORIES:
+            totals[c] += ledger[c]
+        jobs[str(jid)] = {
+            "name": job.name,
+            "submit_t": job.submit_t,
+            "finish_t": job.finish_t,
+            "jct": job.jct,
+            "failed": job.failed,
+            "ledger": ledger,
+            "critical_path": [
+                {k: seg[k] for k in sorted(seg)} for seg in path
+            ],
+        }
+    return {
+        "jobs": jobs,
+        "ledger_totals": totals,
+        "idle": idle_blame(unit),
+    }
+
+
+def sum_error(entry: dict) -> float:
+    """Relative error between a job's ledger sum and its JCT."""
+    total = sum(entry["ledger"].values())
+    jct = entry["jct"] or 0.0
+    if jct == 0.0:
+        return abs(total)
+    return abs(total - jct) / jct
+
+
+def top_jobs(result: dict, n: int = 10) -> list[tuple[str, str, dict]]:
+    """The ``n`` slowest jobs across all units as (unit, job_id, entry)."""
+    rows = [
+        (unit_label, jid, entry)
+        for unit_label, unit in result["units"].items()
+        for jid, entry in unit["jobs"].items()
+    ]
+    rows.sort(key=lambda r: (-(r[2]["jct"] or 0.0), r[0], int(r[1])))
+    return rows[:n]
+
+
+# ----------------------------------------------------------------------
+# idle-time blame ledger
+# ----------------------------------------------------------------------
+class _ClusterState:
+    """Rolling cluster state for the idle-classification sweep."""
+
+    def __init__(self, unit: UnitTrace) -> None:
+        self.running: dict[tuple[int, str], int] = {}
+        self.queued: dict[tuple[int, str], int] = {}
+        self.down: set[int] = set()
+        self.pending_tasks = 0          # ready but not yet placed
+        self.waiting_jobs: set[int] = set()  # submitted, not yet admitted
+        self.limits = {
+            (w, r): spec["limits"][r]
+            for w, spec in unit.workers.items()
+            for r in RTYPES
+        }
+
+    def cause(self, worker: int, rtype: str) -> str:
+        if worker in self.down:
+            return "fault_down"
+        if self.pending_tasks > 0 or any(
+            n > 0 for (w, r), n in self.queued.items() if r == rtype
+        ):
+            return "blocked_policy"
+        if self.waiting_jobs:
+            return "admission_gated"
+        return "no_work"
+
+    def apply(self, e: dict) -> None:
+        kind = e["kind"]
+        if kind == ev.MT_START:
+            if not e["bypass"]:
+                self.running[(e["worker"], e["rtype"])] = e["running"]
+        elif kind == ev.RES_RELEASE:
+            self.running[(e["worker"], e["rtype"])] = e["running"]
+        elif kind == ev.QUEUE_PUSH or kind == ev.QUEUE_POP:
+            self.queued[(e["worker"], e["rtype"])] = e["qlen"]
+        elif kind == ev.TASK_READY:
+            self.pending_tasks += 1
+        elif kind == ev.TASK_PLACED:
+            self.pending_tasks = max(0, self.pending_tasks - 1)
+        elif kind == ev.JOB_SUBMIT:
+            self.waiting_jobs.add(e["job"])
+        elif kind == ev.JOB_ADMIT:
+            self.waiting_jobs.discard(e["job"])
+        elif kind == ev.JOB_FINISH:
+            self.waiting_jobs.discard(e["job"])  # doomed-while-waiting jobs
+        elif kind == ev.WORKER_DOWN:
+            w = e["worker"]
+            self.down.add(w)
+            for r in RTYPES:
+                self.running[(w, r)] = 0
+                self.queued[(w, r)] = 0
+        elif kind == ev.WORKER_UP:
+            self.down.discard(e["worker"])
+
+
+def idle_blame(unit: UnitTrace) -> dict:
+    """Classify every idle slot-second of every Ursa worker resource.
+
+    Returns ``{"per_worker": {w: {rtype: {cause: s}}}, "totals": {rtype:
+    {cause: s}}, "capacity_seconds": {rtype: s}, "end_t": t}``.  Executor
+    baselines never instantiate Workers, so their units report an empty
+    ledger — their idleness is visible only through the JCT ledgers.
+    """
+    per_worker: dict[str, dict] = {
+        str(w): {r: {c: 0.0 for c in IDLE_CAUSES} for r in RTYPES}
+        for w in sorted(unit.workers)
+    }
+    totals = {r: {c: 0.0 for c in IDLE_CAUSES} for r in RTYPES}
+    if not unit.workers:
+        return {"per_worker": {}, "totals": totals,
+                "capacity_seconds": {r: 0.0 for r in RTYPES}, "end_t": unit.end_t}
+
+    state = _ClusterState(unit)
+    prev_t = 0.0
+    for e in unit.events:
+        t = e["t"]
+        dt = t - prev_t
+        if dt > 0:
+            _integrate(state, per_worker, totals, dt)
+            prev_t = t
+        state.apply(e)
+    if unit.end_t > prev_t:
+        _integrate(state, per_worker, totals, unit.end_t - prev_t)
+    capacity = {
+        r: unit.end_t * sum(
+            spec["limits"][r] for spec in unit.workers.values()
+        )
+        for r in RTYPES
+    }
+    return {
+        "per_worker": per_worker,
+        "totals": totals,
+        "capacity_seconds": capacity,
+        "end_t": unit.end_t,
+    }
+
+
+def _integrate(state: _ClusterState, per_worker: dict, totals: dict,
+               dt: float) -> None:
+    for (w, r), limit in state.limits.items():
+        idle = limit - state.running.get((w, r), 0)
+        if idle <= 0:
+            continue
+        cause = state.cause(w, r)
+        amount = idle * dt
+        per_worker[str(w)][r][cause] += amount
+        totals[r][cause] += amount
+
+
+# ----------------------------------------------------------------------
+# serialization / digests
+# ----------------------------------------------------------------------
+def render_json(result: dict) -> str:
+    """Canonical JSON text: sorted keys, full float precision (the shortest
+    round-trip repr), trailing newline — byte-identical for identical event
+    streams."""
+    return json.dumps(result, sort_keys=True, indent=1) + "\n"
+
+
+def attribution_digest(result: dict) -> str:
+    """sha256 over the canonical JSON — the cross-engine identity pin."""
+    return hashlib.sha256(render_json(result).encode()).hexdigest()
+
+
+def write_attribution(result: dict, path) -> Path:
+    """Write the canonical JSON artifact; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_json(result))
+    return p
+
+
+def validate(result: dict, rel_tol: float = 1e-9) -> list[str]:
+    """Check the sum-to-JCT identity for every job.  Returns error strings —
+    empty means every ledger is exact within ``rel_tol``."""
+    errs = []
+    for unit_label, unit in result["units"].items():
+        for jid, entry in unit["jobs"].items():
+            err = sum_error(entry)
+            if err > rel_tol:
+                errs.append(
+                    f"{unit_label} job {jid}: ledger sum off by "
+                    f"{err:.3e} (jct={entry['jct']})"
+                )
+        idle = unit["idle"]
+        for r, causes in idle["totals"].items():
+            for c, v in causes.items():
+                if v < 0:
+                    errs.append(f"{unit_label}: negative idle {r}/{c} = {v}")
+    return errs

@@ -1,0 +1,483 @@
+"""Span-tree reconstruction and scheduling-aware critical paths.
+
+Rebuilds per-job structure (job → task → monotask, with admission / queue /
+grant / run phases) from a recorded :mod:`repro.obs.events` stream, then
+walks each job's monotask DAG *backward* from the last-finishing monotask to
+extract the **scheduling-aware critical path**: the chain of wait and work
+segments that actually bounded the job's completion time.  Unlike a classic
+compute-only critical path, wait edges are first-class — queue residency,
+placement delay, admission gating and fault recovery all appear as labeled
+segments.
+
+The walk maintains a backward cursor that starts at the job's finish time
+and only ever moves earlier, clamped to ``[submit, finish]``; every emitted
+segment spans ``[new_cursor, cursor]``.  Segments therefore tile the JCT
+window exactly by construction, which is what lets
+:mod:`repro.obs.attribution` fold them into a ledger whose entries sum to
+JCT (the telescoping sum is exact up to float associativity, well inside
+the 1e-9 relative gate).
+
+Granularity degrades gracefully with trace richness:
+
+* **monotask level** — Ursa-scheduled units (queue/grant events present):
+  run segments split into pure service time (``work_mb`` / nominal rate
+  from the ``worker_spec`` event) vs. contention excess, queue residency
+  per resource, placement delay, admission wait.
+* **task level** — executor-model baselines share the JM/JP execution
+  layer but never touch Worker queues, so their traces carry task
+  lifecycles only; run time collapses into one ``execution`` category.
+* **job level** — zero-task jobs and jobs killed by the fault layer get a
+  single covering segment.
+
+Segment labels are the ledger categories listed in
+:data:`repro.obs.attribution.CATEGORIES`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from . import events as ev
+
+__all__ = [
+    "MtSpan", "TaskSpan", "JobSpan", "UnitTrace",
+    "parse_events", "critical_path",
+]
+
+
+class MtSpan:
+    """Lifecycle timestamps and DAG links of one monotask (last attempt)."""
+
+    __slots__ = (
+        "mt", "task", "rtype", "worker", "push_t", "pop_t", "start_t",
+        "finish_t", "bypass", "work_mb", "input_mb", "parents",
+    )
+
+    def __init__(self, mt: int) -> None:
+        self.mt = mt
+        self.task: Optional[int] = None
+        self.rtype: Optional[str] = None
+        self.worker: Optional[int] = None
+        self.push_t: Optional[float] = None
+        self.pop_t: Optional[float] = None
+        self.start_t: Optional[float] = None
+        self.finish_t: Optional[float] = None
+        self.bypass = False
+        self.work_mb = 0.0
+        self.input_mb = 0.0
+        self.parents: list[int] = []
+
+
+class TaskSpan:
+    """Lifecycle timestamps of one task (last attempt)."""
+
+    __slots__ = ("task", "stage", "ready_t", "placed_t", "finish_t", "worker", "mts")
+
+    def __init__(self, task: int) -> None:
+        self.task = task
+        self.stage = -1
+        self.ready_t: Optional[float] = None
+        self.placed_t: Optional[float] = None
+        self.finish_t: Optional[float] = None
+        self.worker: Optional[int] = None
+        self.mts: list[int] = []
+
+
+class JobSpan:
+    """One job's span tree: job-level phases plus task and monotask spans."""
+
+    __slots__ = (
+        "job", "name", "submit_t", "admit_t", "jm_start_t", "finish_t",
+        "jct", "failed", "tasks", "mts", "retry_ts",
+    )
+
+    def __init__(self, job: int) -> None:
+        self.job = job
+        self.name: Optional[str] = None
+        self.submit_t: Optional[float] = None
+        self.admit_t: Optional[float] = None
+        self.jm_start_t: Optional[float] = None
+        self.finish_t: Optional[float] = None
+        self.jct: Optional[float] = None
+        self.failed = False
+        self.tasks: dict[int, TaskSpan] = {}
+        self.mts: dict[int, MtSpan] = {}
+        self.retry_ts: list[float] = []
+
+    def task_span(self, tid: int) -> TaskSpan:
+        span = self.tasks.get(tid)
+        if span is None:
+            span = self.tasks[tid] = TaskSpan(tid)
+        return span
+
+    def mt_span(self, mid: int) -> MtSpan:
+        span = self.mts.get(mid)
+        if span is None:
+            span = self.mts[mid] = MtSpan(mid)
+        return span
+
+
+class UnitTrace:
+    """Everything one simulation unit's event stream says, indexed."""
+
+    def __init__(self, unit: str) -> None:
+        self.unit = unit
+        self.jobs: dict[int, JobSpan] = {}
+        #: worker -> {"limits": {rtype: slots}, "rates": {rtype: MB/s}}
+        self.workers: dict[int, dict] = {}
+        #: worker -> [(down_t, up_t_or_None), ...]
+        self.down_windows: dict[int, list[list[Optional[float]]]] = {}
+        self.end_t = 0.0
+        #: the raw events of this unit, in recording order (idle-blame sweep)
+        self.events: list[dict] = []
+
+    def job_span(self, jid: int) -> JobSpan:
+        span = self.jobs.get(jid)
+        if span is None:
+            span = self.jobs[jid] = JobSpan(jid)
+        return span
+
+    def nominal_rate(self, worker: Optional[int], rtype: Optional[str]) -> float:
+        spec = self.workers.get(worker)
+        if spec is None or rtype is None:
+            return 0.0
+        return spec["rates"].get(rtype, 0.0)
+
+    def downtime_overlap(self, t0: float, t1: float) -> list[tuple[float, float]]:
+        """Merged sub-intervals of [t0, t1] during which any worker was down."""
+        spans = []
+        for windows in self.down_windows.values():
+            for down_t, up_t in windows:
+                lo = max(t0, down_t)
+                hi = min(t1, up_t if up_t is not None else self.end_t)
+                if hi > lo:
+                    spans.append((lo, hi))
+        if not spans:
+            return []
+        spans.sort()
+        merged = [list(spans[0])]
+        for lo, hi in spans[1:]:
+            if lo <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], hi)
+            else:
+                merged.append([lo, hi])
+        return [(lo, hi) for lo, hi in merged]
+
+
+def parse_events(events: Iterable[dict]) -> dict[str, UnitTrace]:
+    """Index an event stream into per-unit span trees.
+
+    Re-executed attempts (fault layer) overwrite earlier timestamps, so
+    every span reflects the *final* attempt; the time the earlier attempts
+    consumed surfaces as gaps that the critical-path walk attributes to
+    ``fault_recovery``.
+    """
+    units: dict[str, UnitTrace] = {}
+    for e in events:
+        unit = units.get(e["unit"])
+        if unit is None:
+            unit = units[e["unit"]] = UnitTrace(e["unit"])
+        t, kind = e["t"], e["kind"]
+        unit.events.append(e)
+        if t > unit.end_t:
+            unit.end_t = t
+        if kind == ev.WORKER_SPEC:
+            unit.workers[e["worker"]] = {
+                "limits": {"cpu": e["cores"], "network": e["net"], "disk": e["disks"]},
+                "rates": {
+                    "cpu": e["core_rate_mbps"],
+                    "network": e["net_mbps"],
+                    "disk": e["disk_mbps"],
+                },
+            }
+        elif kind == ev.JOB_SUBMIT:
+            job = unit.job_span(e["job"])
+            job.submit_t = t
+            job.name = e.get("name")
+        elif kind == ev.JOB_ADMIT:
+            unit.job_span(e["job"]).admit_t = t
+        elif kind == ev.JM_START:
+            unit.job_span(e["job"]).jm_start_t = t
+        elif kind == ev.TASK_READY:
+            span = unit.job_span(e["job"]).task_span(e["task"])
+            span.ready_t = t
+            span.stage = e["stage"]
+            span.placed_t = None  # re-ready after a rewind awaits re-placement
+        elif kind == ev.TASK_DEPS:
+            job = unit.job_span(e["job"])
+            task = job.task_span(e["task"])
+            task.mts = [row[0] for row in e["mts"]]
+            for mid, rtype, input_mb, work_mb, parents in e["mts"]:
+                mt = job.mt_span(mid)
+                mt.task = e["task"]
+                mt.rtype = rtype
+                mt.input_mb = input_mb
+                mt.work_mb = work_mb
+                mt.parents = list(parents)
+        elif kind == ev.TASK_PLACED:
+            span = unit.job_span(e["job"]).task_span(e["task"])
+            span.placed_t = t
+            span.worker = e["worker"]
+        elif kind == ev.QUEUE_PUSH:
+            mt = unit.job_span(e["job"]).mt_span(e["mt"])
+            mt.push_t = t
+            mt.worker = e["worker"]
+        elif kind == ev.QUEUE_POP:
+            unit.job_span(e["job"]).mt_span(e["mt"]).pop_t = t
+        elif kind == ev.MT_START:
+            mt = unit.job_span(e["job"]).mt_span(e["mt"])
+            mt.start_t = t
+            mt.worker = e["worker"]
+            mt.bypass = e["bypass"]
+            if mt.bypass:
+                mt.push_t = None  # bypass lane: no queue residency
+        elif kind == ev.MT_FINISH:
+            mt = unit.job_span(e["job"]).mt_span(e["mt"])
+            mt.finish_t = t
+            mt.task = e["task"]
+            mt.rtype = e["rtype"]
+            if mt.worker is None:
+                mt.worker = e["worker"]
+        elif kind == ev.TASK_FINISH:
+            unit.job_span(e["job"]).task_span(e["task"]).finish_t = t
+        elif kind == ev.JOB_FINISH:
+            job = unit.job_span(e["job"])
+            job.finish_t = t
+            job.jct = e["jct"]
+            job.failed = bool(e.get("failed", False))
+            if job.submit_t is None and job.jct is not None:
+                # baselines bypass the admission controller; recover the
+                # submit anchor from the reported JCT
+                job.submit_t = t - job.jct
+        elif kind == ev.WORKER_DOWN:
+            unit.down_windows.setdefault(e["worker"], []).append([t, None])
+        elif kind == ev.WORKER_UP:
+            windows = unit.down_windows.get(e["worker"])
+            if windows and windows[-1][1] is None:
+                windows[-1][1] = t
+        elif kind == ev.RETRY:
+            unit.job_span(e["job"]).retry_ts.append(t)
+    return units
+
+
+# ----------------------------------------------------------------------
+# the backward walk
+# ----------------------------------------------------------------------
+class _Walk:
+    """Backward cursor over ``[submit, finish]`` emitting tiling segments."""
+
+    def __init__(self, unit: UnitTrace, job: JobSpan) -> None:
+        self.unit = unit
+        self.job = job
+        self.submit = job.submit_t if job.submit_t is not None else 0.0
+        self.cursor = job.finish_t if job.finish_t is not None else self.submit
+        self.segments: list[dict] = []  # built backward, reversed at the end
+
+    def emit(self, t0: float, label: str, **meta) -> None:
+        """Emit ``[t0, cursor]`` (clamped so segments tile without overlap)."""
+        lo = min(t0, self.cursor)
+        if lo < self.submit:
+            lo = self.submit
+        if lo >= self.cursor:
+            return
+        seg = {"t0": lo, "t1": self.cursor, "label": label}
+        seg.update(meta)
+        self.segments.append(seg)
+        self.cursor = lo
+
+    def emit_gap(self, t0: float, label: str, **meta) -> None:
+        """Like :meth:`emit` but reclassifies fault time: the portion of the
+        gap overlapping worker downtime — or any gap containing one of the
+        job's retry charges — becomes ``fault_recovery``."""
+        lo = min(t0, self.cursor)
+        if lo < self.submit:
+            lo = self.submit
+        if lo >= self.cursor:
+            return
+        if any(lo <= rt <= self.cursor for rt in self.job.retry_ts):
+            self.emit(lo, "fault_recovery", **meta)
+            return
+        down = self.unit.downtime_overlap(lo, self.cursor)
+        for dlo, dhi in reversed(down):
+            self.emit(dhi, label, **meta)
+            self.emit(dlo, "fault_recovery", **meta)
+        self.emit(lo, label, **meta)
+
+    def finish(self) -> list[dict]:
+        self.emit(self.submit, "other")
+        self.segments.reverse()
+        return self.segments
+
+
+def _last_finisher(spans: Iterable, key: str = "finish_t"):
+    """Latest-finishing span; ties break to the smallest id (deterministic)."""
+    best = None
+    for s in spans:
+        t = getattr(s, key)
+        if t is None:
+            continue
+        if best is None or t > getattr(best, key) or (
+            t == getattr(best, key) and _span_id(s) < _span_id(best)
+        ):
+            best = s
+    return best
+
+
+def _span_id(span) -> int:
+    return span.mt if isinstance(span, MtSpan) else span.task
+
+
+def critical_path(unit: UnitTrace, job: JobSpan) -> list[dict]:
+    """The job's scheduling-aware critical path as contiguous segments.
+
+    Returns ``[{"t0", "t1", "label", ...}, ...]`` tiling
+    ``[submit_t, finish_t]`` in time order; monotask-level segments carry
+    ``mt``/``task``/``worker``, task-level ones carry ``task``.
+    """
+    if job.finish_t is None:
+        return []
+    walk = _Walk(unit, job)
+    if job.failed:
+        walk.emit(walk.submit, "failed")
+        return walk.finish()
+    mt_mode = any(m.start_t is not None and m.finish_t is not None
+                  for m in job.mts.values())
+    if mt_mode:
+        _walk_monotasks(walk, unit, job)
+    elif job.tasks:
+        _walk_tasks(walk, job)
+    else:
+        _walk_job_only(walk, job)
+    return walk.finish()
+
+
+def _walk_job_only(walk: _Walk, job: JobSpan) -> None:
+    if job.jm_start_t is not None:
+        walk.emit(job.jm_start_t, "other")
+        if job.admit_t is not None:
+            walk.emit(job.admit_t, "jm_startup")
+            walk.emit(job.submit_t, "admission_wait")
+        else:
+            walk.emit(job.submit_t, "jm_startup")
+
+
+def _chain_to_submit(walk: _Walk, job: JobSpan, ready_t: Optional[float]) -> None:
+    """Root task reached: close the chain through JM startup and admission."""
+    if ready_t is not None:
+        walk.emit(ready_t, "other")
+    if job.jm_start_t is not None:
+        walk.emit(job.jm_start_t, "other")
+    if job.admit_t is not None:
+        walk.emit(job.admit_t, "jm_startup")
+        walk.emit(job.submit_t, "admission_wait")
+    else:
+        walk.emit(job.submit_t, "jm_startup")
+
+
+def _enabling_task(job: JobSpan, ready_t: float,
+                   exclude: int) -> Optional[TaskSpan]:
+    """The parent task whose completion made this task ready.
+
+    The JM marks children ready in the same simulation instant their last
+    parent finishes, so the enabler is exactly a task with
+    ``finish_t == ready_t`` (smallest id on ties, for determinism)."""
+    best = None
+    for span in job.tasks.values():
+        if span.task == exclude or span.finish_t != ready_t:
+            continue
+        if best is None or span.task < best.task:
+            best = span
+    return best
+
+
+def _walk_tasks(walk: _Walk, job: JobSpan) -> None:
+    """Task-level walk (executor-model baselines: no queue/grant events)."""
+    cur = _last_finisher(job.tasks.values())
+    if cur is None:
+        _walk_job_only(walk, job)
+        return
+    walk.emit(cur.finish_t, "other")
+    seen: set[int] = set()
+    while cur is not None and cur.task not in seen:
+        seen.add(cur.task)
+        ready = cur.ready_t if cur.ready_t is not None else cur.finish_t
+        walk.emit_gap(ready, "execution", task=cur.task)
+        prev = _enabling_task(job, ready, cur.task)
+        if prev is None:
+            _chain_to_submit(walk, job, ready)
+            return
+        walk.emit_gap(prev.finish_t, "other", task=cur.task)
+        cur = prev
+
+
+def _run_segments(walk: _Walk, unit: UnitTrace, mt: MtSpan) -> None:
+    """Split the run interval into pure service time vs. contention excess.
+
+    Pure time is ``work_mb`` over the worker's *nominal* per-slot rate (the
+    ``worker_spec`` event); anything beyond that is queueing inside the
+    machine-level service (shared fabric / spindle / core ledger) — i.e.
+    contention, the paper's granted-rate-below-nominal slowdown."""
+    dur = mt.finish_t - mt.start_t
+    rate = unit.nominal_rate(mt.worker, mt.rtype)
+    amount = mt.work_mb if mt.work_mb > 0 else mt.input_mb
+    pure = amount / rate if rate > 0 else dur
+    if pure > dur:
+        pure = dur
+    label = {"cpu": "compute", "network": "transfer", "disk": "disk_io"}.get(
+        mt.rtype, "execution"
+    )
+    meta = {"mt": mt.mt, "task": mt.task, "worker": mt.worker, "rtype": mt.rtype}
+    walk.emit(mt.start_t + pure, f"contention_{mt.rtype}", **meta)
+    walk.emit(mt.start_t, label, **meta)
+
+
+def _walk_monotasks(walk: _Walk, unit: UnitTrace, job: JobSpan) -> None:
+    """Monotask-level walk (Ursa units: full queue/grant instrumentation)."""
+    cur = _last_finisher(job.mts.values())
+    walk.emit(cur.finish_t, "other")
+    seen: set[int] = set()
+    while cur is not None and cur.mt not in seen:
+        seen.add(cur.mt)
+        if cur.start_t is None or cur.finish_t is None:
+            # lost to a fault and never re-run to completion on this id;
+            # close out through the task chain below
+            break
+        _run_segments(walk, unit, cur)
+        lower = cur.start_t
+        if cur.push_t is not None:
+            walk.emit(cur.push_t, f"queue_wait_{cur.rtype}",
+                      mt=cur.mt, task=cur.task, worker=cur.worker)
+            lower = cur.push_t
+        task = job.tasks.get(cur.task) if cur.task is not None else None
+        intra = [
+            job.mts[p] for p in cur.parents
+            if p in job.mts and task is not None and p in task.mts
+        ]
+        prev = _last_finisher(intra)
+        if prev is not None:
+            # intra-task child: the JM enqueues it the instant its last
+            # parent finishes, so this gap is zero in fault-free runs
+            walk.emit_gap(prev.finish_t, "sched_delay", mt=cur.mt, task=cur.task)
+            cur = prev
+            continue
+        # task-source monotask: pushed by place_task; chain through the
+        # task's ready/placed anchors to the enabling parent task
+        if task is None or task.ready_t is None:
+            walk.emit_gap(walk.submit, "sched_delay", mt=cur.mt)
+            return
+        placed = task.placed_t if task.placed_t is not None else task.ready_t
+        walk.emit_gap(placed, "other", task=task.task)
+        walk.emit_gap(task.ready_t, "sched_delay", task=task.task)
+        enabler = _enabling_task(job, task.ready_t, task.task)
+        if enabler is None:
+            _chain_to_submit(walk, job, task.ready_t)
+            return
+        walk.emit_gap(enabler.finish_t, "other", task=task.task)
+        cur = _last_finisher(
+            [job.mts[m] for m in enabler.mts if m in job.mts]
+        )
+        if cur is None:
+            walk.emit_gap(enabler.ready_t if enabler.ready_t is not None
+                          else walk.submit, "execution", task=enabler.task)
+            _chain_to_submit(walk, job, enabler.ready_t)
+            return

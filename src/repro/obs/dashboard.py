@@ -23,7 +23,10 @@ from ..metrics.report import format_latency_rows
 from .latency import Dist
 from .telemetry import RTYPES, TelemetryCollector, UnitTelemetry, unit_summary
 
-__all__ = ["render_unit", "render_dashboard", "attach_live", "PANEL_WIDTH"]
+__all__ = [
+    "render_unit", "render_dashboard", "render_blame", "attach_live",
+    "PANEL_WIDTH",
+]
 
 #: sparkline strips are resampled down to this many columns
 PANEL_WIDTH = 64
@@ -134,6 +137,46 @@ def render_dashboard(tel: TelemetryCollector) -> str:
     if not panels:
         return "(no telemetry units recorded)"
     return "\n".join(panels)
+
+
+def render_blame(unit_label: str, unit_attr: dict, top: int = 3) -> str:
+    """Idle-time blame panel for one unit of an attribution result.
+
+    ``unit_attr`` is one value of ``attribute(events)["units"]``.  Shows,
+    per resource, the top-``top`` causes idle slot-seconds were charged to
+    (with their share of total capacity), plus the cluster-level JCT ledger
+    headline — which phase dominated completion time across the unit's
+    jobs.  Pure renderer over the attribution dict; no simulation state.
+    """
+    idle = unit_attr["idle"]
+    lines = []
+    lines.append("┌" + "─" * (PANEL_WIDTH + 14) + "┐")
+    lines.append(f"  idle-time blame — unit {unit_label}")
+    if not idle["per_worker"]:
+        lines.append("  (no Ursa workers in this unit: executor-model "
+                     "baseline — see JCT ledger)")
+    for rtype in ("cpu", "network", "disk"):
+        causes = idle["totals"].get(rtype, {})
+        cap = idle["capacity_seconds"].get(rtype, 0.0)
+        ranked = sorted(causes.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        parts = []
+        for cause, secs in ranked:
+            share = secs / cap if cap > 0 else 0.0
+            parts.append(f"{cause} {secs:.1f}s ({share:.0%})")
+        if parts:
+            lines.append(f"  {rtype:>8s}: " + "  ".join(parts))
+    totals = unit_attr.get("ledger_totals", {})
+    ranked = sorted(
+        ((k, v) for k, v in totals.items() if v > 0),
+        key=lambda kv: (-kv[1], kv[0]),
+    )[:top]
+    if ranked:
+        lines.append(
+            "  jct ledger: "
+            + "  ".join(f"{k} {v:.1f}s" for k, v in ranked)
+        )
+    lines.append("└" + "─" * (PANEL_WIDTH + 14) + "┘")
+    return "\n".join(lines)
 
 
 def attach_live(tel: TelemetryCollector, stream: Optional[TextIO] = None) -> None:

@@ -19,11 +19,18 @@ referenced by their integer ids, so a trace can outlive the objects.
 from __future__ import annotations
 
 __all__ = [
-    "JOB_SUBMIT", "JOB_ADMIT", "JM_START", "TASK_READY", "SCHED_TICK",
-    "TASK_PLACED", "QUEUE_PUSH", "QUEUE_POP", "MT_START", "RES_RELEASE",
-    "MT_FINISH", "TASK_FINISH", "JOB_FINISH", "WORKER_DOWN", "WORKER_UP",
-    "MT_LOST", "RETRY", "ALL_KINDS",
+    "WORKER_SPEC", "JOB_SUBMIT", "JOB_ADMIT", "JM_START", "TASK_READY",
+    "TASK_DEPS", "SCHED_TICK", "TASK_PLACED", "QUEUE_PUSH", "QUEUE_POP",
+    "MT_START", "RES_RELEASE", "MT_FINISH", "TASK_FINISH", "JOB_FINISH",
+    "WORKER_DOWN", "WORKER_UP", "MT_LOST", "RETRY", "ALL_KINDS",
 ]
+
+#: worker registered with the cluster (emitted once per worker at t=0) —
+#: {worker, cores, disks, net, core_rate_mbps, net_mbps, disk_mbps}.
+#: Carries the concurrency limits and *nominal* per-slot rates so offline
+#: analysis can compute idle capacity and contention slowdown (observed
+#: service time vs work_mb / nominal_rate) without the Worker objects.
+WORKER_SPEC = "worker_spec"
 
 #: job arrived at the admission controller — {job, name, mem_mb, qlen}
 JOB_SUBMIT = "job_submit"
@@ -33,6 +40,12 @@ JOB_ADMIT = "job_admit"
 JM_START = "jm_start"
 #: all parent tasks done; estimates resolved — {job, task, stage, n_mt, input_mb}
 TASK_READY = "task_ready"
+#: the task's monotask DAG, emitted right after ``task_ready`` once input
+#: estimates are resolved — {job, task, mts: [[mt, rtype, input_mb, work_mb,
+#: [parent_mt, ...]], ...]}.  Parent ids cover both intra-task edges and
+#: cross-task edges (shuffle reads), so the offline critical-path walk can
+#: rebuild the full per-job monotask DAG from the trace alone.
+TASK_DEPS = "task_deps"
 #: one Algorithm-1 scheduling round finished — {assigned}
 SCHED_TICK = "sched_tick"
 #: placement decision — {job, task, worker, score, n_mt} (score = winning F(t,w))
@@ -63,7 +76,8 @@ MT_LOST = "monotask_lost"
 RETRY = "retry"
 
 ALL_KINDS = frozenset({
-    JOB_SUBMIT, JOB_ADMIT, JM_START, TASK_READY, SCHED_TICK, TASK_PLACED,
-    QUEUE_PUSH, QUEUE_POP, MT_START, RES_RELEASE, MT_FINISH, TASK_FINISH,
-    JOB_FINISH, WORKER_DOWN, WORKER_UP, MT_LOST, RETRY,
+    WORKER_SPEC, JOB_SUBMIT, JOB_ADMIT, JM_START, TASK_READY, TASK_DEPS,
+    SCHED_TICK, TASK_PLACED, QUEUE_PUSH, QUEUE_POP, MT_START, RES_RELEASE,
+    MT_FINISH, TASK_FINISH, JOB_FINISH, WORKER_DOWN, WORKER_UP, MT_LOST,
+    RETRY,
 })

@@ -17,7 +17,11 @@ Two serializations of the same event stream:
     events (``ph: "i"``) on the scheduler row, with the winning ``F(t,w)``
     score in ``args``;
   - queue depth and running-monotask counts are counter tracks
-    (``ph: "C"``) so allocation latency is visible as queue build-up.
+    (``ph: "C"``) so allocation latency is visible as queue build-up;
+  - when an attribution result is supplied (``--analyze``), flow events
+    (``ph: "s"`` / ``"f"`` pairs sharing an ``id``) draw arrows between
+    consecutive monotask slices along each job's scheduling-aware critical
+    path, so the chain that bounded the JCT is visible in Perfetto.
 
 Timestamps are simulation seconds scaled to microseconds (the format's
 unit); no wall-clock time appears anywhere.
@@ -77,8 +81,61 @@ def read_jsonl(path) -> list[dict]:
 # ----------------------------------------------------------------------
 # Chrome Trace Format
 # ----------------------------------------------------------------------
-def chrome_trace(events: Iterable[dict], engine_stats: dict | None = None) -> dict:
-    """Convert an event stream into a Chrome Trace Format document."""
+#: critical-path segment labels that denote actual monotask run time (the
+#: flow-arrow anchors); wait labels carry no slice to bind to
+_RUN_LABELS = frozenset({
+    "compute", "transfer", "disk_io",
+    "contention_cpu", "contention_network", "contention_disk",
+})
+
+
+def _flow_events(te: list[dict], pids: dict[str, int],
+                 attribution: dict) -> None:
+    """Append ``ph: "s"``/``"f"`` flow pairs linking consecutive monotask
+    slices along each job's critical path (one arrow per dependency hop)."""
+    flow_id = 0
+    for unit_label in sorted(attribution.get("units", {})):
+        pid = pids.get(unit_label)
+        if pid is None:
+            continue  # attribution for a unit absent from this stream
+        unit = attribution["units"][unit_label]
+        for jid in sorted(unit["jobs"], key=int):
+            # collapse the segment list into the ordered chain of distinct
+            # monotasks with their run-slice extents
+            chain: list[dict] = []
+            for seg in unit["jobs"][jid]["critical_path"]:
+                if seg["label"] not in _RUN_LABELS or "mt" not in seg:
+                    continue
+                if chain and chain[-1]["mt"] == seg["mt"]:
+                    chain[-1]["t1"] = max(chain[-1]["t1"], seg["t1"])
+                else:
+                    chain.append({
+                        "mt": seg["mt"], "worker": seg["worker"],
+                        "rtype": seg["rtype"], "t0": seg["t0"], "t1": seg["t1"],
+                    })
+            for a, b in zip(chain, chain[1:]):
+                flow_id += 1
+                common = {"name": "critical_path", "cat": "critpath",
+                          "pid": pid, "id": flow_id}
+                te.append({
+                    "ph": "s", **common,
+                    "tid": 1 + a["worker"] * 3 + _RES_TID[a["rtype"]],
+                    "ts": a["t1"] * _SCALE,
+                })
+                te.append({
+                    "ph": "f", "bp": "e", **common,
+                    "tid": 1 + b["worker"] * 3 + _RES_TID[b["rtype"]],
+                    "ts": b["t0"] * _SCALE,
+                })
+
+
+def chrome_trace(events: Iterable[dict], engine_stats: dict | None = None,
+                 attribution: dict | None = None) -> dict:
+    """Convert an event stream into a Chrome Trace Format document.
+
+    ``attribution`` (a :func:`repro.obs.attribution.attribute` result)
+    additionally emits critical-path flow arrows between monotask slices.
+    """
     te: list[dict] = []
     pids: dict[str, int] = {}
     named_threads: set[tuple[int, int]] = set()
@@ -168,6 +225,8 @@ def chrome_trace(events: Iterable[dict], engine_stats: dict | None = None) -> di
                 "args": {k: v for k, v in ev.items() if k not in ("kind", "t", "unit")},
             })
 
+    if attribution is not None:
+        _flow_events(te, pids, attribution)
     doc = {"traceEvents": te, "displayTimeUnit": "ms"}
     if engine_stats:
         doc["otherData"] = {
@@ -179,27 +238,33 @@ def chrome_trace(events: Iterable[dict], engine_stats: dict | None = None) -> di
     return doc
 
 
-def write_chrome_trace(events: Iterable[dict], path, engine_stats: dict | None = None) -> Path:
+def write_chrome_trace(events: Iterable[dict], path,
+                       engine_stats: dict | None = None,
+                       attribution: dict | None = None) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps(chrome_trace(events, engine_stats), default=_json_default) + "\n"
+        json.dumps(chrome_trace(events, engine_stats, attribution),
+                   default=_json_default) + "\n"
     )
     return path
 
 
-def write_trace_files(recorder, out_dir) -> dict[str, Path]:
+def write_trace_files(recorder, out_dir,
+                      attribution: dict | None = None) -> dict[str, Path]:
     """Write both serializations of a recorder's stream into ``out_dir``.
 
     Returns ``{"jsonl": ..., "chrome": ...}``; the fixed file names
     (``trace.jsonl`` / ``trace.json``) keep the CLI, bench scripts and CI
-    smoke job pointing at the same artifacts.
+    smoke job pointing at the same artifacts.  ``attribution`` enriches the
+    Chrome export with critical-path flow arrows.
     """
     out_dir = Path(out_dir)
     return {
         "jsonl": write_jsonl(recorder.events, out_dir / "trace.jsonl"),
         "chrome": write_chrome_trace(
-            recorder.events, out_dir / "trace.json", recorder.engine_stats
+            recorder.events, out_dir / "trace.json", recorder.engine_stats,
+            attribution,
         ),
     }
 
@@ -222,6 +287,11 @@ def validate_chrome_trace(doc) -> list[str]:
     if not isinstance(te, list):
         return ["document must contain a 'traceEvents' array"]
     num = (int, float)
+    # flow-event bookkeeping: every id must open with exactly one "s" and
+    # close with exactly one "f" (steps "t" in between) — a dangling arrow
+    # renders as garbage in Perfetto, so it fails validation here
+    flow_phases: dict = {}
+    flow_ts: dict = {}
     for i, ev in enumerate(te):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -257,8 +327,32 @@ def validate_chrome_trace(doc) -> list[str]:
             args = ev.get("args")
             if not isinstance(args, dict) or not isinstance(args.get("name"), str):
                 errs.append(f"{where}: metadata needs args.name")
+        elif ph in ("s", "t", "f"):
+            _require(ev, "name", str, errs, where)
+            _require(ev, "ts", num, errs, where)
+            _require(ev, "pid", int, errs, where)
+            _require(ev, "tid", int, errs, where)
+            fid = ev.get("id")
+            if not isinstance(fid, (int, str)):
+                errs.append(f"{where}: flow event needs an id")
+            else:
+                flow_phases.setdefault(fid, []).append(ph)
+                if isinstance(ev.get("ts"), num):
+                    flow_ts.setdefault(fid, []).append((ev["ts"], ph))
         else:
             errs.append(f"{where}: unexpected phase {ph!r}")
+        if "bind_id" in ev and not (ev.get("flow_in") or ev.get("flow_out")):
+            errs.append(f"{where}: bind_id without flow_in/flow_out")
         if isinstance(ev.get("ts"), num) and ev["ts"] < 0:
             errs.append(f"{where}: negative timestamp {ev['ts']!r}")
+    for fid, phases in flow_phases.items():
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            errs.append(
+                f"flow id {fid!r}: needs exactly one 's' and one 'f', "
+                f"got {phases}"
+            )
+            continue
+        ts = dict((ph, t) for t, ph in flow_ts.get(fid, []))
+        if "s" in ts and "f" in ts and ts["f"] < ts["s"]:
+            errs.append(f"flow id {fid!r}: finish precedes start")
     return errs

@@ -29,7 +29,10 @@ from typing import Iterable, Optional
 
 from .telemetry import RTYPES, TelemetryCollector, UnitTelemetry
 
-__all__ = ["render_prom", "write_prom", "write_prom_series", "validate_prom"]
+__all__ = [
+    "render_prom", "write_prom", "write_prom_series",
+    "render_attr_prom", "write_attr_prom", "validate_prom",
+]
 
 _PREFIX = "ursa"
 
@@ -208,6 +211,56 @@ def _render_unit(doc: _Doc, u: UnitTelemetry) -> None:
                "Mean time from a fault to its last restarted task re-completing")
     doc.sample(f"{_PREFIX}_fault_recovery_seconds_mean",
                sum(rec) / len(rec) if rec else 0.0, unit=unit)
+
+
+def render_attr_prom(attr: dict) -> str:
+    """Exposition-format gauges for a critical-path attribution result.
+
+    ``attr`` is the document returned by
+    :func:`repro.obs.attribution.attribute`.  Three gauge families, all
+    derived from the deterministic event stream (so diffable across runs):
+
+    * ``ursa_jct_ledger_seconds{unit, category}`` — the per-unit JCT ledger
+      totals; summed over categories they equal the unit's total JCT.
+    * ``ursa_idle_blame_seconds{unit, resource, cause}`` — idle
+      slot-seconds charged to each cause by the blame sweep.
+    * ``ursa_idle_capacity_seconds{unit, resource}`` — total slot-seconds
+      the blame sweep partitioned (busy + all idle causes).
+    """
+    from .attribution import CATEGORIES, IDLE_CAUSES
+    from .attribution import RTYPES as ATTR_RTYPES
+
+    doc = _Doc()
+    doc.family(f"{_PREFIX}_jct_ledger_seconds", "gauge",
+               "Critical-path JCT ledger total per category (sums to the "
+               "unit's total JCT)")
+    doc.family(f"{_PREFIX}_idle_blame_seconds", "gauge",
+               "Idle slot-seconds charged to each cause per resource")
+    doc.family(f"{_PREFIX}_idle_capacity_seconds", "gauge",
+               "Total slot-seconds partitioned by the idle blame sweep")
+    for unit in sorted(attr["units"]):
+        u = attr["units"][unit]
+        for cat in CATEGORIES:
+            doc.sample(f"{_PREFIX}_jct_ledger_seconds",
+                       u["ledger_totals"][cat], unit=unit, category=cat)
+        idle = u["idle"]
+        for rtype in ATTR_RTYPES:
+            for cause in IDLE_CAUSES:
+                doc.sample(f"{_PREFIX}_idle_blame_seconds",
+                           idle["totals"][rtype][cause],
+                           unit=unit, resource=rtype, cause=cause)
+            doc.sample(f"{_PREFIX}_idle_capacity_seconds",
+                       idle["capacity_seconds"][rtype],
+                       unit=unit, resource=rtype)
+    return doc.text()
+
+
+def write_attr_prom(attr: dict, path) -> Path:
+    """Write :func:`render_attr_prom` output; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_attr_prom(attr))
+    return path
 
 
 def write_prom(tel: TelemetryCollector, path) -> Path:

@@ -74,6 +74,16 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # typed hook helpers (one per schema kind)
     # ------------------------------------------------------------------
+    def worker_spec(
+        self, t: float, worker: int, cores: int, disks: int, net: int,
+        core_rate_mbps: float, net_mbps: float, disk_mbps: float,
+    ) -> None:
+        self.emit(
+            _ev.WORKER_SPEC, t, worker=worker, cores=cores, disks=disks,
+            net=net, core_rate_mbps=core_rate_mbps, net_mbps=net_mbps,
+            disk_mbps=disk_mbps,
+        )
+
     def job_submit(self, t: float, job: int, name: str, mem_mb: float, qlen: int) -> None:
         self.emit(_ev.JOB_SUBMIT, t, job=job, name=name, mem_mb=mem_mb, qlen=qlen)
 
@@ -90,6 +100,10 @@ class TraceRecorder:
             _ev.TASK_READY, t, job=job, task=task, stage=stage, n_mt=n_mt,
             input_mb=input_mb,
         )
+
+    def task_deps(self, t: float, job: int, task: int, mts: list) -> None:
+        # ``mts`` rows are [mt, rtype, input_mb, work_mb, [parent_mt, ...]]
+        self.emit(_ev.TASK_DEPS, t, job=job, task=task, mts=mts)
 
     def sched_tick(self, t: float, assigned: int) -> None:
         self.emit(_ev.SCHED_TICK, t, assigned=assigned)

@@ -87,27 +87,46 @@ def _execute_unit(experiment: str, scale, key, seed: int, kwargs: dict) -> Any:
 #: worker-side scale installed once by :func:`_pool_init` — submitted units
 #: reference it instead of shipping the cluster spec with every task
 _POOL_SCALE = None
+#: worker-side tracing flag: when set, each unit records its lifecycle
+#: events locally and ships them back with the payload
+_POOL_TRACING = False
 
 
-def _pool_init(scale, placement_mode: str) -> None:
+def _pool_init(scale, placement_mode: str, tracing: bool = False) -> None:
     """Pool-worker initializer: install shared read-only state.
 
     Runs once per worker process.  The resolved scale (with its cluster
-    spec) and the parent's effective placement engine are installed here so
-    each submitted unit carries only ``(experiment, key, seed, kwargs)``.
+    spec), the parent's effective placement engine and the parent's
+    tracing state are installed here so each submitted unit carries only
+    ``(experiment, key, seed, kwargs)``.
     """
-    global _POOL_SCALE
+    global _POOL_SCALE, _POOL_TRACING
     _POOL_SCALE = scale
+    _POOL_TRACING = tracing
     from ..scheduler import vector
 
     vector.set_default_mode(placement_mode)
 
 
 def _execute_unit_pooled(experiment: str, key, seed: int, kwargs: dict):
-    """Worker-side unit entry: initializer-shared scale + compute timing."""
+    """Worker-side unit entry: initializer-shared scale + compute timing.
+
+    Returns ``(payload, compute_s, trace)`` where ``trace`` is ``None``
+    untraced, else ``(events, engine_stats)`` recorded by a per-unit local
+    recorder.  The parent splices traces back in submission order, so the
+    merged stream is byte-identical to a serial traced run.
+    """
     t0 = time.perf_counter()
+    if _POOL_TRACING:
+        rec = _obs.enable()
+        rec.begin_unit(f"{experiment}:{key}")
+        try:
+            payload = _execute_unit(experiment, _POOL_SCALE, key, seed, kwargs)
+        finally:
+            _obs.disable()
+        return payload, time.perf_counter() - t0, (rec.events, rec.engine_stats)
     payload = _execute_unit(experiment, _POOL_SCALE, key, seed, kwargs)
-    return payload, time.perf_counter() - t0
+    return payload, time.perf_counter() - t0, None
 
 
 class _UnitSpec:
@@ -177,8 +196,9 @@ class ParallelRunner:
         return self.placement_mode or vector.get_default_mode()
 
     def _get_pool(self, sc) -> ProcessPoolExecutor:
-        """Return the warm pool, (re)building it if scale/mode changed."""
-        key = (sc, self._effective_mode())
+        """Return the warm pool, (re)building it if scale/mode/tracing
+        changed (tracing ships to workers through the initializer)."""
+        key = (sc, self._effective_mode(), _obs.RECORDER is not None)
         if self._pool is not None and key != self._pool_key:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -307,15 +327,29 @@ class ParallelRunner:
             for spec in to_run
         }
         pending = set(futures)
+        traces: dict[int, tuple] = {}
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 spec = futures[future]
-                payload, compute_s = future.result()  # re-raises worker exceptions
+                payload, compute_s, trace = future.result()  # re-raises worker exceptions
                 payloads[id(spec)] = payload
+                if trace is not None:
+                    traces[id(spec)] = trace
                 self.compute_s += compute_s
                 self._store(sc, spec, payload)
                 self.executed_units += 1
+        rec = _obs.RECORDER
+        if rec is not None and traces:
+            # splice worker-recorded events in *submission* order, not
+            # completion order, so the merged stream (and everything derived
+            # from it: attribution.json, trace files, digests) is
+            # byte-identical to the serial traced run
+            for spec in to_run:
+                trace = traces.get(id(spec))
+                if trace is not None:
+                    rec.events.extend(trace[0])
+                    rec.engine_stats.update(trace[1])
         return payloads
 
     def _run_and_store(self, sc, spec: _UnitSpec) -> Any:

@@ -122,6 +122,13 @@ class Worker:
                 "network": self.config.network_concurrency,
                 "disk": spec.disks,
             })
+        rec = _obs.RECORDER
+        if rec is not None:
+            rec.worker_spec(
+                self.sim.now, index, spec.cores, spec.disks,
+                self.config.network_concurrency, spec.core_rate_mbps,
+                spec.net_mbps, spec.disk_mbps,
+            )
 
     # ------------------------------------------------------------------
     # capacity limits (paper §4.2.3 "Concurrency control")

@@ -105,3 +105,44 @@ def test_resample_never_drops_mass():
     out = _resample(series, 64)
     assert len(out) == 64
     assert all(math.isfinite(v) for v in out)
+
+
+# ----------------------------------------------------------------------
+# idle-blame panel (attribution renderer)
+# ----------------------------------------------------------------------
+def _unit_attr(per_worker=True):
+    causes = {"fault_down": 0.0, "blocked_policy": 30.0,
+              "admission_gated": 0.0, "no_work": 10.0}
+    zero = {c: 0.0 for c in causes}
+    return {
+        "jobs": {},
+        "ledger_totals": {"compute": 5.0, "sched_delay": 2.0, "transfer": 0.0},
+        "idle": {
+            "per_worker": {"0": {"cpu": causes, "network": zero, "disk": zero}}
+            if per_worker else {},
+            "totals": {"cpu": dict(causes), "network": dict(zero),
+                       "disk": dict(zero)},
+            "capacity_seconds": {"cpu": 100.0, "network": 50.0, "disk": 50.0},
+            "end_t": 10.0,
+        },
+    }
+
+
+def test_render_blame_ranks_causes_with_capacity_share():
+    from repro.obs.dashboard import render_blame
+
+    panel = render_blame("t2:ursa-ejf", _unit_attr())
+    assert "idle-time blame — unit t2:ursa-ejf" in panel
+    cpu_line = next(ln for ln in panel.splitlines() if "cpu:" in ln)
+    # blocked_policy (30s / 100 slot-s) must rank ahead of no_work (10s)
+    assert cpu_line.index("blocked_policy") < cpu_line.index("no_work")
+    assert "30.0s (30%)" in cpu_line
+    assert "jct ledger: compute 5.0s  sched_delay 2.0s" in panel
+    assert panel.startswith("┌") and panel.rstrip().endswith("┘")
+
+
+def test_render_blame_notes_executor_baseline_units():
+    from repro.obs.dashboard import render_blame
+
+    panel = render_blame("t2:spark", _unit_attr(per_worker=False))
+    assert "executor-model" in panel

@@ -187,6 +187,53 @@ def test_validate_rejects_corruption():
         assert errs, f"{mutate.__name__} not caught"
 
 
+def _flow(ph, fid, ts, **extra):
+    e = {"ph": ph, "name": "critical_path", "cat": "critpath",
+         "pid": 1, "tid": 1, "id": fid, "ts": ts}
+    e.update(extra)
+    return e
+
+
+def test_validate_accepts_matched_flow_pair():
+    doc = chrome_trace(_lifecycle_events())
+    doc["traceEvents"].extend(
+        [_flow("s", 7, 100.0), _flow("f", 7, 200.0, bp="e")]
+    )
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validate_rejects_dangling_flow_arrows():
+    base = chrome_trace(_lifecycle_events())["traceEvents"]
+    # start without finish
+    doc = {"traceEvents": base + [_flow("s", 1, 100.0)]}
+    assert any("flow id 1" in e for e in validate_chrome_trace(doc))
+    # finish without start
+    doc = {"traceEvents": base + [_flow("f", 2, 100.0)]}
+    assert any("flow id 2" in e for e in validate_chrome_trace(doc))
+    # duplicated start
+    doc = {"traceEvents": base + [_flow("s", 3, 100.0), _flow("s", 3, 150.0),
+                                  _flow("f", 3, 200.0)]}
+    assert any("flow id 3" in e for e in validate_chrome_trace(doc))
+
+
+def test_validate_rejects_backward_flow():
+    doc = {"traceEvents": [_flow("s", 9, 200.0), _flow("f", 9, 100.0)]}
+    assert any("finish precedes start" in e for e in validate_chrome_trace(doc))
+
+
+def test_validate_rejects_flow_event_without_id():
+    e = _flow("s", 0, 100.0)
+    del e["id"]
+    errs = validate_chrome_trace({"traceEvents": [e]})
+    assert any("needs an id" in err for err in errs)
+
+
+def test_validate_rejects_stray_bind_id():
+    doc = chrome_trace(_lifecycle_events())
+    next(e for e in doc["traceEvents"] if e["ph"] == "X")["bind_id"] = 42
+    assert any("bind_id" in e for e in validate_chrome_trace(doc))
+
+
 def test_validate_rejects_non_object_documents():
     assert validate_chrome_trace([1, 2]) != []
     assert validate_chrome_trace({"notTraceEvents": []}) != []

@@ -137,3 +137,50 @@ def test_validate_prom_rejects_count_bucket_mismatch():
     )
     errs = validate_prom(doc)
     assert any("_count != +Inf" in e for e in errs)
+
+
+# ----------------------------------------------------------------------
+# attribution gauges
+# ----------------------------------------------------------------------
+def _attr_result():
+    from repro.obs.attribution import CATEGORIES, IDLE_CAUSES, RTYPES
+
+    ledger = {c: 0.0 for c in CATEGORIES}
+    ledger["compute"] = 12.5
+    return {
+        "schema": 1,
+        "units": {
+            "t2:ursa-ejf": {
+                "jobs": {},
+                "ledger_totals": ledger,
+                "idle": {
+                    "per_worker": {},
+                    "totals": {
+                        r: {c: 1.0 for c in IDLE_CAUSES} for r in RTYPES
+                    },
+                    "capacity_seconds": {r: 10.0 for r in RTYPES},
+                    "end_t": 5.0,
+                },
+            },
+        },
+    }
+
+
+def test_render_attr_prom_is_valid_exposition():
+    from repro.obs.promexport import render_attr_prom
+
+    text = render_attr_prom(_attr_result())
+    assert validate_prom(text) == []
+    assert ('ursa_jct_ledger_seconds{unit="t2:ursa-ejf",'
+            'category="compute"} 12.5') in text
+    assert ('ursa_idle_blame_seconds{unit="t2:ursa-ejf",resource="cpu",'
+            'cause="blocked_policy"} 1') in text
+    assert ('ursa_idle_capacity_seconds{unit="t2:ursa-ejf",'
+            'resource="disk"} 10') in text
+
+
+def test_write_attr_prom_round_trips(tmp_path):
+    from repro.obs.promexport import render_attr_prom, write_attr_prom
+
+    path = write_attr_prom(_attr_result(), tmp_path / "deep" / "attr.prom")
+    assert path.read_text() == render_attr_prom(_attr_result())

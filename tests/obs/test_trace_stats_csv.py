@@ -82,3 +82,33 @@ def test_empty_trace_errors(tmp_path, capsys):
     path = tmp_path / "empty.jsonl"
     path.write_text("")
     assert trace_stats.main([str(path), "--format", "csv"]) == 1
+
+
+# ----------------------------------------------------------------------
+# --events raw dump (satellite: csv.writer quoting)
+# ----------------------------------------------------------------------
+def test_events_csv_quotes_hostile_payloads(tmp_path, capsys):
+    """Payload cells are JSON (always contain commas) and may embed quotes
+    and newlines; the dump must round-trip through csv.reader unchanged."""
+    import json
+
+    events = [
+        _e(ev.JOB_SUBMIT, 0.0, job=0, name='q1,"smoke", line1\nline2',
+           mem_mb=64.0, qlen=1),
+        _e(ev.QUEUE_PUSH, 1.0, worker=0, rtype="cpu", job=0, mt=1, qlen=1),
+    ]
+    path = tmp_path / "hostile.jsonl"
+    write_jsonl(events, path)
+    assert trace_stats.main([str(path), "--format", "csv", "--events"]) == 0
+    rows = _rows(capsys.readouterr().out)
+    assert rows[0] == ["unit", "t", "kind", "payload"]
+    assert len(rows) == 3
+    payload = json.loads(rows[1][3])
+    assert payload["name"] == 'q1,"smoke", line1\nline2'
+    assert rows[2][2] == ev.QUEUE_PUSH
+
+
+def test_events_requires_csv_format(tmp_path):
+    path, _ = _trace(tmp_path)
+    with pytest.raises(SystemExit):
+        trace_stats.main([str(path), "--events"])
