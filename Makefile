@@ -1,7 +1,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-baseline bench-sim bench-place place-identity profile trace analyze-smoke faults-smoke check-docs telemetry-smoke metrics-baseline
+.PHONY: test bench bench-smoke bench-baseline bench-sim bench-place place-identity profile trace analyze-smoke faults-smoke check-docs telemetry-smoke metrics-baseline service-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -14,8 +14,18 @@ faults-smoke:
 	$(PY) -m repro.experiments --only fig_faults --scale tiny
 	$(PY) -m pytest tests/faults -q
 
-# Markdown link check (README/DESIGN/EXPERIMENTS/docs/) + doctests of every
-# src/repro module that embeds '>>>' examples.
+# Smoke-test the open-loop service mode: run the fig_service arrival-rate
+# sweep at tiny scale through the parallel harness, write + schema-validate
+# the SLO report (the CLI exits non-zero on any violation), and run the
+# service test suite (arrival determinism, warmup exclusion, autoscaler
+# hysteresis, shed accounting, serial≡parallel identity).
+service-smoke:
+	$(PY) -m repro.experiments --only fig_service --scale tiny --parallel 2 --service-out service-out
+	$(PY) -m pytest tests/service -q
+
+# Markdown link check (README/DESIGN/EXPERIMENTS/docs/) + embedded doctests
+# (src/repro modules and the markdown docs themselves) + doc/implementation
+# drift: every experiments-CLI flag and Makefile target must be documented.
 check-docs:
 	$(PY) scripts/check_docs.py
 

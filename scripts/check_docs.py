@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Documentation checks: local markdown links + embedded doctests.
+"""Documentation checks: links, doctests, and doc/implementation drift.
 
-Two passes, both offline:
+Five passes, all offline:
 
 1. **Link check** — every relative link / image target in the repo's
    markdown docs must exist on disk.  ``http(s):``/``mailto:`` URLs and
@@ -11,9 +11,18 @@ Two passes, both offline:
 2. **Doctest pass** — every module under ``src/repro`` whose source
    contains a ``>>>`` prompt is imported and run through ``doctest``;
    a module advertising examples that no longer execute fails the build.
+3. **Markdown doctests** — ``>>>`` examples embedded in the checked
+   markdown files (e.g. docs/OPERATIONS.md) are executed the same way,
+   so operator-guide snippets cannot rot.
+4. **CLI flag cross-check** — every ``--flag`` that
+   ``python -m repro.experiments --help`` defines (introspected from
+   ``build_parser()``) must appear in at least one checked doc, and every
+   ``--flag`` the docs mention for that CLI must still exist.
+5. **Makefile target cross-check** — every target in the Makefile must be
+   mentioned as ``make <target>`` in at least one checked doc.
 
-Exit status is non-zero on any broken link or failing doctest, so CI can
-gate on ``python scripts/check_docs.py``.
+Exit status is non-zero on any failure, so CI gates on
+``python scripts/check_docs.py`` (``make check-docs``).
 """
 
 from __future__ import annotations
@@ -89,10 +98,96 @@ def run_doctests(module_names: list[str]) -> list[str]:
     return errors
 
 
+def run_markdown_doctests(files: list[Path]) -> list[str]:
+    """Execute ``>>>`` examples embedded in the checked markdown files.
+
+    :class:`doctest.DocTestParser` skips the prose between examples, so
+    markdown needs no special fencing — any ``>>>`` block is run with a
+    fresh namespace per file and its output compared exactly.
+    """
+    parser = doctest.DocTestParser()
+    errors = []
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        if ">>>" not in text:
+            continue
+        name = str(md.relative_to(REPO))
+        test = parser.get_doctest(text, {}, name, str(md), 0)
+        runner = doctest.DocTestRunner(verbose=False)
+        result = runner.run(test, out=lambda s: None)
+        if result.failed:
+            errors.append(f"{name}: {result.failed}/{result.attempted} "
+                          f"markdown doctest(s) failed (run with doctest "
+                          f"verbose for details)")
+        else:
+            print(f"[doctest] {name}: {result.attempted} example(s) OK")
+    return errors
+
+
+#: --flags mentioned in docs near the experiments CLI are validated against
+#: build_parser(); matches e.g. "--service-out" but not "--" em-dash runs
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]+\b")
+
+#: flags that belong to other CLIs the docs also mention (scripts/*.py,
+#: pytest, pip, git...) — not part of the experiments CLI surface
+_FOREIGN_FLAGS = {
+    "--baseline", "--candidate", "--measure-overhead", "--repeats",
+    "--n-jobs", "--out", "--skip-doctests", "--jobs", "--setting",
+    "--legacy", "--no-header", "--cache-clear", "--cov", "--help",
+    "--workers", "--events", "--check", "--runs", "--warmup",
+    "--benchmark-only", "--format", "--top", "--validate-chrome",
+}
+
+
+def cli_flags() -> list[str]:
+    from repro.experiments.__main__ import build_parser
+
+    flags = []
+    for action in build_parser()._actions:
+        flags.extend(opt for opt in action.option_strings if opt.startswith("--"))
+    return flags
+
+
+def check_cli_flags(corpus: str) -> list[str]:
+    """Two-way drift check between the experiments CLI and the docs."""
+    defined = set(cli_flags())
+    errors = [
+        f"CLI flag {flag} (python -m repro.experiments) is documented "
+        f"nowhere in the checked markdown files"
+        for flag in sorted(defined)
+        if flag != "--help" and flag not in corpus
+    ]
+    mentioned = set(_FLAG_RE.findall(corpus))
+    errors.extend(
+        f"docs mention unknown flag {flag}: not defined by "
+        f"python -m repro.experiments (stale doc or typo?)"
+        for flag in sorted(mentioned - defined - _FOREIGN_FLAGS)
+    )
+    return errors
+
+
+def makefile_targets() -> list[str]:
+    targets = []
+    for line in (REPO / "Makefile").read_text(encoding="utf-8").splitlines():
+        m = re.match(r"^([A-Za-z0-9][A-Za-z0-9_-]*):", line)
+        if m:
+            targets.append(m.group(1))
+    return targets
+
+
+def check_make_targets(corpus: str) -> list[str]:
+    return [
+        f"Makefile target '{t}' is not mentioned as 'make {t}' in any "
+        f"checked markdown file"
+        for t in makefile_targets()
+        if f"make {t}" not in corpus
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--skip-doctests", action="store_true",
-                        help="only check markdown links")
+                        help="only check markdown links and doc drift")
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO / "src"))
@@ -100,8 +195,21 @@ def main(argv: list[str] | None = None) -> int:
     errors = check_links(files)
     print(f"[links] checked {len(files)} markdown file(s)")
 
+    # drift checks read the raw text: flags and targets normally live in
+    # fenced example blocks, which the link pass strips away
+    corpus = "\n".join(f.read_text(encoding="utf-8") for f in files)
+    flag_errors = check_cli_flags(corpus)
+    target_errors = check_make_targets(corpus)
+    print(f"[cli] {len(cli_flags())} flag(s) cross-checked "
+          f"({len(flag_errors)} problem(s))")
+    print(f"[make] {len(makefile_targets())} target(s) cross-checked "
+          f"({len(target_errors)} problem(s))")
+    errors.extend(flag_errors)
+    errors.extend(target_errors)
+
     if not args.skip_doctests:
         errors.extend(run_doctests(iter_doctest_modules()))
+        errors.extend(run_markdown_doctests(files))
 
     for err in errors:
         print(f"ERROR: {err}", file=sys.stderr)

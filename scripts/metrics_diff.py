@@ -8,7 +8,9 @@ so the default tolerance is **zero**: any drift in grants, busy-seconds,
 utilization or latency quantiles fails CI until the baseline is
 regenerated on purpose.  The same run records a lifecycle trace and gates
 the critical-path attribution summary (per-unit JCT ledger totals and the
-idle-time blame ledger) under ``attribution.*`` keys.
+idle-time blame ledger) under ``attribution.*`` keys, plus two open-loop
+fig_service units (stable and overloaded) whose SLO-report scalars are
+gated under ``service.*`` keys.
 
 Commands::
 
@@ -51,8 +53,16 @@ from pathlib import Path
 DEFAULT_BASELINE = "BENCH_metrics.json"
 
 #: the canonical gate run — small enough for CI, covers both Ursa policies
-#: and both executor-model baselines
-CANONICAL = {"experiments": ["table2"], "scale": "tiny", "seed": 0, "interval": 1.0}
+#: and both executor-model baselines; ``service_units`` adds open-loop
+#: fig_service units (one stable, one overloaded) whose SLO reports are
+#: gated under ``service.<unit>.*``
+CANONICAL = {
+    "experiments": ["table2"],
+    "scale": "tiny",
+    "seed": 0,
+    "interval": 1.0,
+    "service_units": ["poisson-x1.0", "poisson-x2.0"],
+}
 
 TOLERANCE_POLICY = [
     "Tolerance policy: the gate metrics come from a bit-deterministic",
@@ -96,6 +106,8 @@ def collect_candidate(spec: dict = CANONICAL, placement: str | None = None) -> d
     are derived from the same deterministic event stream, so they too must
     match the baseline exactly.
     """
+    from repro.experiments import fig_service
+    from repro.experiments.common import SCALES
     from repro.experiments.registry import run_all
     from repro.obs import attribution as attr_mod
     from repro.obs import recorder as rec_mod
@@ -107,9 +119,20 @@ def collect_candidate(spec: dict = CANONICAL, placement: str | None = None) -> d
         vector_mod.set_default_mode(placement)
     rec = rec_mod.enable()
     tel_mod.enable(interval=spec["interval"])
+    service_reports: dict[str, dict] = {}
     try:
         with contextlib.redirect_stdout(io.StringIO()):
             run_all(spec["scale"], only=list(spec["experiments"]), seed=spec["seed"])
+            # open-loop service units run outside run_all (they are single
+            # units of the fig_service sweep, not the whole experiment);
+            # label them the way the runner would so their telemetry and
+            # attribution land under fig_service:<key> like everything else
+            for key in spec.get("service_units", ()):
+                rec.begin_unit(f"fig_service:{key}")
+                tel_mod.TELEMETRY.begin_unit(f"fig_service:{key}")
+                service_reports[key] = fig_service.run_unit(
+                    SCALES[spec["scale"]], key, seed=spec["seed"]
+                )
     finally:
         tel = tel_mod.disable()
         rec_mod.disable()
@@ -138,6 +161,10 @@ def collect_candidate(spec: dict = CANONICAL, placement: str | None = None) -> d
             },
         }
         _flatten(f"attribution.{unit}", picked, flat)
+    for key, report in service_reports.items():
+        # SLO report scalars (counts, window percentiles, goodput, shed
+        # rate, autoscaler actions) — strings/bools drop out in _flatten
+        _flatten(f"service.{key}", report, flat)
     return flat
 
 

@@ -31,6 +31,10 @@ Examples::
     # (telemetry.json / metrics.prom / scrapes/*.prom / dashboard.txt)
     python -m repro.experiments --dashboard --only table2 --scale tiny
     python -m repro.experiments --telemetry-out metrics --only fig8 --scale tiny
+
+    # open-loop service mode: SLO curves + a validated slo_report.json
+    # (see docs/OPERATIONS.md for the operator walkthrough)
+    python -m repro.experiments --only fig_service --scale tiny --service-out service-out
 """
 
 from __future__ import annotations
@@ -68,7 +72,9 @@ def resolve_experiment_name(name: str) -> str | None:
     return matches[0] if len(matches) == 1 else None
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI surface, exposed as a function so tools can introspect it
+    (``scripts/check_docs.py`` cross-checks every flag against the docs)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -139,9 +145,20 @@ def main(argv: list[str] | None = None) -> int:
              "(default: 1.0)",
     )
     parser.add_argument(
+        "--service-out", default=None, metavar="DIR",
+        help="write the fig_service SLO report to DIR/slo_report.json and "
+             "validate it against the report schema (requires fig_service "
+             "among the experiments run; see docs/OPERATIONS.md)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="list experiment names and exit",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_experiments:
@@ -199,9 +216,12 @@ def main(argv: list[str] | None = None) -> int:
     tel = obs_telemetry.enable(args.telemetry_interval) if telemetry_on else None
     if tel is not None and args.dashboard:
         obs_dashboard.attach_live(tel)
+    if args.service_out is not None and only is not None and "fig_service" not in only:
+        parser.error("--service-out requires fig_service among the experiments run")
+
     start = time.perf_counter()
     try:
-        run_all(args.scale, only=only, seed=args.seed, runner=runner)
+        results = run_all(args.scale, only=only, seed=args.seed, runner=runner)
     finally:
         runner.close()
         if args.profile:
@@ -276,6 +296,35 @@ def main(argv: list[str] | None = None) -> int:
             f"{prom_path}, {len(scrapes)} scrape file(s), {dash_path}",
             file=sys.stderr,
         )
+    if args.service_out is not None:
+        from ..service import validate_report
+
+        reports = results.get("fig_service") or {}
+        errors = {
+            key: errs
+            for key, rep in sorted(reports.items())
+            if (errs := validate_report(rep))
+        }
+        out_dir = args.service_out
+        os.makedirs(out_dir, exist_ok=True)
+        report_path = os.path.join(out_dir, "slo_report.json")
+        document = {
+            "scale": args.scale if isinstance(args.scale, str) else args.scale.name,
+            "seed": args.seed,
+            "units": {key: reports[key] for key in sorted(reports)},
+        }
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"[service] {len(reports)} unit report(s) -> {report_path}",
+            file=sys.stderr,
+        )
+        if errors:
+            for key, errs in errors.items():
+                for err in errs:
+                    print(f"[service] SCHEMA VIOLATION {key}: {err}", file=sys.stderr)
+            return 1
     return 0
 
 

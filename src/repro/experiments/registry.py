@@ -26,6 +26,7 @@ from . import (
     fig7_stageaware,
     fig8_fig9_fig10_synthetic,
     fig_faults,
+    fig_service,
     table1_fig1_single_jobs,
     table2_tpch,
     table3_tpcds,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "fig9": fig8_fig9_fig10_synthetic.run_fig9,
     "fig10": fig8_fig9_fig10_synthetic.run_fig10,
     "fig_faults": fig_faults.run,
+    "fig_service": fig_service.run,
 }
 
 SPLIT_EXPERIMENTS: dict[str, SplitExperiment] = {
@@ -66,6 +68,7 @@ SPLIT_EXPERIMENTS: dict[str, SplitExperiment] = {
     "fig9": fig8_fig9_fig10_synthetic.SPLIT_FIG9,
     "fig10": fig8_fig9_fig10_synthetic.SPLIT_FIG10,
     "fig_faults": fig_faults.SPLIT,
+    "fig_service": fig_service.SPLIT,
 }
 
 

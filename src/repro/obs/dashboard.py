@@ -127,6 +127,12 @@ def render_unit(u: UnitTelemetry) -> str:
             f"  wasted {c['wasted_work_mb']:.0f} MB"
             f"  recovery mean {f['recovery_mean_s']:.1f}s"
         )
+    if c["jobs_shed"] or c["autoscale_up"] or c["autoscale_down"]:
+        lines.append(
+            f"  service: shed {c['jobs_shed']}"
+            f"  scale-ups {c['autoscale_up']}"
+            f"  scale-downs {c['autoscale_down']}"
+        )
     lines.append("└" + "─" * (PANEL_WIDTH + 14) + "┘")
     return "\n".join(lines)
 

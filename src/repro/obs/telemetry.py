@@ -64,6 +64,7 @@ _COUNTER_KEYS = (
     "sched_ticks", "tasks_assigned",
     "retries", "monotasks_lost", "worker_down", "worker_up",
     "wasted_work_mb",
+    "jobs_shed", "autoscale_up", "autoscale_down",
 )
 
 
@@ -449,6 +450,20 @@ class TelemetryCollector:
 
     def wasted_work(self, mb: float) -> None:
         self._u.counters["wasted_work_mb"] += mb
+
+    # ------------------------------------------------------------------
+    # service-layer seams (ServiceDriver / Autoscaler)
+    # ------------------------------------------------------------------
+    def job_shed(self, t: float) -> None:
+        """An arrival rejected by admission backpressure (never submitted,
+        so none of the job-lifecycle counters move for it)."""
+        self._u.counters["jobs_shed"] += 1
+
+    def autoscale(self, t: float, direction: int, active: int) -> None:
+        """The autoscaler added (+1) or drained (−1) a worker; ``active``
+        is the post-action live-worker count."""
+        key = "autoscale_up" if direction > 0 else "autoscale_down"
+        self._u.counters[key] += 1
 
     # ------------------------------------------------------------------
     # summaries

@@ -1,0 +1,109 @@
+"""Service-mode job templates: small interactive jobs, sized per scale.
+
+Batch experiments submit a handful of heavyweight jobs; a multi-tenant
+service handles a stream of much smaller requests.  Each arrival maps to
+a short dataflow job whose shape depends on its type:
+
+* **type 2 (small)** — two stages (scan → shuffle/aggregate), the
+  interactive-query profile; requests a quarter of a machine's memory.
+* **type 1 (large)** — three stages (scan → shuffle → shuffle), twice the
+  data; requests half of one machine's memory — so a dozen-odd concurrent
+  jobs saturate the admission gate and overload queues, not just CPU.
+
+Sizes derive from the :class:`~repro.experiments.common.Scale` — per-task
+input follows ``scale.partition_mb`` and stage width follows the cluster
+core count — so the same sweep stays proportionate from ``tiny`` to
+``paper``.  Per-arrival size jitter (±25 %) comes from a seed-derived
+generator keyed on the arrival index: the spec, like the arrival
+schedule, is a pure function of ``(scale, arrival, seed)``.
+"""
+
+from __future__ import annotations
+
+from ..simcore.rng import derive_rng
+from ..workloads.spec import JobSpec, StageSpec
+from .arrivals import Arrival
+
+__all__ = ["service_job_spec", "mean_job_cpu_mb", "mean_request_mb"]
+
+#: memory request as a fraction of one machine's memory, per job type
+_MEM_FRACTION = {1: 0.5, 2: 0.25}
+#: skew applied to partition and shuffle-shard sizes
+_SKEW_SIGMA = 0.3
+
+
+def _widths(total_cores: int) -> dict[int, int]:
+    return {1: max(8, total_cores // 4), 2: max(4, total_cores // 8)}
+
+
+def service_job_spec(sc, arrival: Arrival, seed: int) -> JobSpec:
+    """Compile one arrival into a size-only :class:`JobSpec`."""
+    machine = sc.cluster.machine
+    width = _widths(sc.cluster.total_cores)[arrival.job_type]
+    rng = derive_rng(seed, "service_job", arrival.index)
+    jitter = 0.75 + 0.5 * float(rng.random())  # size factor in [0.75, 1.25)
+    per_task_mb = sc.partition_mb * jitter
+    source_mb = per_task_mb * width
+
+    stages = [
+        StageSpec(
+            parallelism=width,
+            source_mb=source_mb,
+            from_disk=False,  # request payloads arrive in memory
+            expand=1.0,
+            cpu_factor=1.0,
+            skew_sigma=_SKEW_SIGMA,
+            m2i=1.1,
+        ),
+        StageSpec(
+            parallelism=width,
+            shuffle_parents=(0,),
+            expand=0.5,
+            cpu_factor=1.0,
+            skew_sigma=_SKEW_SIGMA,
+            m2i=1.1,
+        ),
+    ]
+    if arrival.job_type == 1:
+        stages.append(
+            StageSpec(
+                parallelism=width,
+                shuffle_parents=(1,),
+                expand=0.5,
+                cpu_factor=1.0,
+                skew_sigma=_SKEW_SIGMA,
+                m2i=1.1,
+            )
+        )
+    return JobSpec(
+        name=f"svc_t{arrival.tenant}_{arrival.index}",
+        stages=stages,
+        requested_memory_mb=_MEM_FRACTION[arrival.job_type] * machine.memory_mb,
+        memory_accuracy=0.9,
+        category="service",
+        seed=arrival.index,
+    )
+
+
+def mean_job_cpu_mb(sc, large_fraction: float = 0.3) -> float:
+    """Expected CPU MB per job under the type mix (jitter averages to 1).
+
+    Stage CPU work ≈ its input volume: the source stage processes
+    ``source_mb``; each shuffle stage processes the previous stage's
+    output (``expand`` halves it per hop).
+    """
+    w = _widths(sc.cluster.total_cores)
+    per = {}
+    for jt, width in w.items():
+        src = sc.partition_mb * width
+        stages = src + src * 1.0  # scan + first shuffle input (expand applies to output)
+        if jt == 1:
+            stages += src * 0.5  # third stage reads the halved intermediate
+        per[jt] = stages
+    return large_fraction * per[1] + (1.0 - large_fraction) * per[2]
+
+
+def mean_request_mb(sc, large_fraction: float = 0.3) -> float:
+    """Expected admission-memory request per job under the type mix."""
+    m = sc.cluster.machine.memory_mb
+    return large_fraction * _MEM_FRACTION[1] * m + (1.0 - large_fraction) * _MEM_FRACTION[2] * m

@@ -12,7 +12,7 @@ def test_registry_covers_every_paper_artifact():
     expected = {
         "table1+fig1", "table2", "table3", "table4", "table5", "table6",
         "fig4+fig5", "fig6", "fig7+sec5.2", "fig8", "fig9", "fig10",
-        "fig_faults",
+        "fig_faults", "fig_service",
     }
     assert set(EXPERIMENTS) == expected
     for fn in EXPERIMENTS.values():

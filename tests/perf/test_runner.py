@@ -33,6 +33,7 @@ def test_every_split_enumerates_units():
         "fig9": 1,
         "fig10": 2,          # policies
         "fig_faults": 6,     # 2 policies × 3 crash counts
+        "fig_service": 7,    # 3 processes + rate sweep + noscale control
     }
     for name, split in SPLIT_EXPERIMENTS.items():
         keys = split.unit_keys(sc)
